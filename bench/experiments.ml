@@ -1,0 +1,720 @@
+(* One function per table/figure of the paper's evaluation (see DESIGN.md
+   for the experiment index), plus the ablation studies.  All experiments
+   run on the machine simulator with the Table 1 presets; [full] widens
+   the sweeps to paper scale. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Rng = Ordo_util.Rng
+module Topology = Ordo_util.Topology
+module Report = Ordo_util.Report
+module H = Harness
+
+let machine_name (m : Machine.t) = m.Machine.topo.Topology.name
+
+(* ---------- Table 1: machine configurations and measured offsets ------- *)
+
+let tab1 ~full =
+  Report.section "Table 1: machines and measured clock offsets";
+  let runs = if full then 300 else 60 in
+  let rows =
+    List.map
+      (fun (m : Machine.t) ->
+        let topo = m.Machine.topo in
+        let module E = (val Sim.exec m) in
+        let module B = Ordo_core.Boundary.Make (E) in
+        let cores = H.sample_cores m in
+        let matrix = B.offset_matrix ~runs ~cores () in
+        let mn = ref max_int and mx = ref 0 in
+        Array.iteri
+          (fun i row ->
+            Array.iteri
+              (fun j v ->
+                if i <> j then begin
+                  if v < !mn then mn := v;
+                  if v > !mx then mx := v
+                end)
+              row)
+          matrix;
+        Hashtbl.replace H.boundary_cache topo.Topology.name !mx;
+        [
+          topo.Topology.name;
+          string_of_int (Topology.physical_cores topo);
+          string_of_int topo.Topology.smt;
+          Printf.sprintf "%.1f" topo.Topology.ghz;
+          string_of_int topo.Topology.sockets;
+          string_of_int !mn;
+          string_of_int !mx;
+        ])
+      H.machines
+  in
+  Report.table ~title:"simulated machines (offsets in ns; max = ORDO_BOUNDARY)"
+    ~header:[ "machine"; "cores"; "SMT"; "GHz"; "sockets"; "min"; "max" ]
+    rows;
+  (* Live host, for reference: pairwise measurement needs >= 2 CPUs. *)
+  let cpus = Ordo_clock.Tsc.num_cpus () in
+  if cpus >= 2 then begin
+    let module B = Ordo_core.Boundary.Make (Ordo_runtime.Real.Exec) in
+    let cores = List.init (min cpus 8) Fun.id in
+    let b = B.measure ~runs:(min runs 200) ~cores () in
+    Report.kv "live host ORDO_BOUNDARY (ns)" (string_of_int b)
+  end
+  else Report.kv "live host" (Printf.sprintf "%d CPU online - no core pairs to measure" cpus)
+
+(* ---------- Figure 9: pairwise offset heatmaps ------------------------- *)
+
+let fig9 ~full =
+  Report.section "Figure 9: pairwise clock offsets (writer row -> reader column)";
+  let runs = if full then 200 else 40 in
+  List.iter
+    (fun (m : Machine.t) ->
+      let module E = (val Sim.exec m) in
+      let module B = Ordo_core.Boundary.Make (E) in
+      let cores = H.sample_cores ~count:(if full then 16 else 10) m in
+      let matrix = B.offset_matrix ~runs ~cores () in
+      Report.matrix
+        ~title:
+          (Printf.sprintf "%s (sampled hw threads: %s)" (machine_name m)
+             (String.concat "," (List.map string_of_int cores)))
+        ~row_label:"w\\r" matrix)
+    H.machines
+
+(* ---------- Figure 8a: timestamp cost vs thread count ------------------ *)
+
+let fig8a ~full =
+  Report.section "Figure 8a: hardware timestamp cost (ns) vs threads";
+  List.iter
+    (fun (m : Machine.t) ->
+      let rows =
+        List.map
+          (fun threads ->
+            let rate =
+              H.throughput ~warm:20_000 ~dur:100_000 m ~threads (fun _ _ ->
+                  ignore (R.get_time ()))
+            in
+            (* per-op cost = threads / aggregate rate *)
+            (threads, [ float_of_int threads /. rate *. 1000. ]))
+          (H.cores_for ~full m)
+      in
+      Report.series ~title:(machine_name m) ~xlabel:"threads" ~cols:[ "ns/op" ] rows)
+    H.machines
+
+(* ---------- Figure 8b: timestamp generation, atomic vs Ordo ------------ *)
+
+let fig8b ~full =
+  Report.section "Figure 8b: timestamps generated per microsecond per core";
+  List.iter
+    (fun (m : Machine.t) ->
+      let boundary = H.boundary_of m in
+      let atomic ~threads:_ =
+        let clock = R.cell 0 in
+        fun _ _ -> ignore (R.fetch_add clock 1)
+      in
+      let ordo ~threads:_ =
+        let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
+        let last = ref 0 in
+        fun _ _ -> last := O.new_time !last
+      in
+      let rows =
+        List.map
+          (fun threads ->
+            let a = H.throughput ~warm:20_000 ~dur:100_000 m ~threads (atomic ~threads) in
+            let o = H.throughput ~warm:20_000 ~dur:100_000 m ~threads (ordo ~threads) in
+            ( threads,
+              [ a /. float_of_int threads; o /. float_of_int threads; o /. a ] ))
+          (H.cores_for ~full m)
+      in
+      Report.series
+        ~title:(Printf.sprintf "%s (boundary %d ns)" (machine_name m) boundary)
+        ~xlabel:"threads"
+        ~cols:[ "atomic/core"; "ordo/core"; "ordo/atomic" ]
+        rows)
+    H.machines
+
+(* ---------- RLU hash-table benchmark (Figures 1, 11, 12, 16) ----------- *)
+
+let make_rlu_table (module TS : Ordo_core.Timestamp.S) ?defer ~threads ~update_pct () =
+  let module Hash = Ordo_rlu.Rlu_hash.Make (R) (TS) in
+  let buckets = 256 and keyrange = 2048 in
+  let t = Hash.create ?defer ~node_work:200 ~threads ~buckets () in
+  for k = 0 to (keyrange / 2) - 1 do
+    ignore (Hash.add t (k * 2))
+  done;
+  let op _ rng =
+    let key = Rng.int rng keyrange in
+    if Rng.int rng 100 < update_pct then begin
+      if Rng.bool rng then ignore (Hash.add t key) else ignore (Hash.remove t key)
+    end
+    else ignore (Hash.contains t key)
+  and finish _ = Hash.flush t in
+  (op, finish)
+
+let rlu_series ?full ?defer machine ~update_pct =
+  let logical =
+    H.sweep ?full machine (fun ~threads ->
+        make_rlu_table (H.logical_ts ()) ?defer ~threads ~update_pct ())
+  in
+  let ordo =
+    H.sweep ?full machine (fun ~threads ->
+        make_rlu_table (H.ordo_ts machine) ?defer ~threads ~update_pct ())
+  in
+  List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo
+
+let fig1 ~full =
+  Report.section "Figure 1: RLU vs RLU_ORDO, hash table 98% reads / 2% updates (Phi)";
+  Report.series ~title:"ops/us on xeon-phi" ~xlabel:"threads" ~cols:[ "RLU"; "RLU_ORDO" ]
+    (rlu_series ~full Machine.phi ~update_pct:2)
+
+let fig11 ~full =
+  Report.section "Figure 11: RLU hash table, 2% and 40% updates, four machines";
+  List.iter
+    (fun m ->
+      List.iter
+        (fun update_pct ->
+          Report.series
+            ~title:(Printf.sprintf "%s, %d%% updates (ops/us)" (machine_name m) update_pct)
+            ~xlabel:"threads"
+            ~cols:[ "RLU"; "RLU_ORDO" ]
+            (rlu_series ~full m ~update_pct))
+        [ 2; 40 ])
+    H.machines
+
+let fig12 ~full =
+  Report.section "Figure 12: deferral-based RLU, 40% updates (Xeon)";
+  Report.series ~title:"ops/us with defer=16" ~xlabel:"threads"
+    ~cols:[ "RLU-defer"; "RLU_ORDO-defer" ]
+    (rlu_series ~full ~defer:16 Machine.xeon ~update_pct:40)
+
+let fig16 ~full =
+  ignore full;
+  Report.section "Figure 16: RLU_ORDO throughput vs ORDO_BOUNDARY scaling (Xeon, 2% upd)";
+  let m = Machine.xeon in
+  let measured = H.boundary_of m in
+  let physical = Topology.physical_cores m.Machine.topo in
+  let configs =
+    [ ("1-core", 1); ("1-socket", m.Machine.topo.Topology.cores_per_socket); ("8-sockets", physical) ]
+  in
+  let scales = [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ] in
+  let rows =
+    List.map
+      (fun (label, threads) ->
+        let base = ref 0.0 in
+        let cells =
+          List.map
+            (fun scale ->
+              let boundary = max 1 (int_of_float (float_of_int measured *. scale)) in
+              let op, finish =
+                make_rlu_table (H.ordo_ts ~boundary m) ~threads ~update_pct:2 ()
+              in
+              let rate = H.throughput ~finish m ~threads op in
+              if scale = 1.0 then base := rate;
+              rate)
+            scales
+        in
+        let base = if !base = 0.0 then 1.0 else !base in
+        label :: List.map (fun r -> Printf.sprintf "%.3f" (r /. base)) cells)
+      configs
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "throughput normalized to 1x boundary (%d ns); columns = boundary scale"
+         measured)
+    ~header:("config" :: List.map (Printf.sprintf "%gx") scales)
+    rows
+
+(* ---------- Figure 10: Exim / Oplog ------------------------------------ *)
+
+let fig10 ~full =
+  Report.section "Figure 10: Exim mail server over the reverse map (Xeon)";
+  let m = Machine.xeon in
+  let run (module M : Ordo_oplog.Rmap.S) ~threads =
+    let module E = Ordo_oplog.Exim.Make (R) (M) in
+    let t = E.create ~threads ~pages:4096 () in
+    let seqs = Array.make threads 0 in
+    fun i rng ->
+      seqs.(i) <- seqs.(i) + 1;
+      E.deliver t rng seqs.(i)
+  in
+  let sweep maker =
+    List.map
+      (fun threads ->
+        ( threads,
+          H.throughput ~warm:400_000 ~dur:2_000_000 m ~threads (maker ~threads) *. 1000. ))
+      (H.cores_for ~full m)
+  in
+  let vanilla = sweep (fun ~threads -> run (module Ordo_oplog.Rmap.Vanilla (R)) ~threads) in
+  let raw =
+    sweep (fun ~threads ->
+        let module Raw = Ordo_core.Timestamp.Raw (R) in
+        run (module Ordo_oplog.Rmap.Logged (R) (Raw)) ~threads)
+  in
+  let ordo =
+    sweep (fun ~threads ->
+        let module TS = (val H.ordo_ts m) in
+        run (module Ordo_oplog.Rmap.Logged (R) (TS)) ~threads)
+  in
+  Report.series ~title:"messages per millisecond" ~xlabel:"threads"
+    ~cols:[ "Vanilla"; "Oplog"; "Oplog_ORDO" ]
+    (List.map2
+       (fun (n, v) ((_, r), (_, o)) -> (n, [ v; r; o ]))
+       vanilla (List.combine raw ordo))
+
+(* ---------- Figures 13/14: database concurrency control ---------------- *)
+
+let db_schemes machine : (string * (module Ordo_db.Cc_intf.S)) list =
+  let module LT1 = (val H.logical_ts ()) in
+  let module LT2 = (val H.logical_ts ()) in
+  let module OT = (val H.ordo_ts machine) in
+  [
+    ("Silo", (module Ordo_db.Silo.Make (R)));
+    ("TicToc", (module Ordo_db.Tictoc.Make (R)));
+    ("OCC", (module Ordo_db.Occ.Make (R) (LT1)));
+    ("OCC_ORDO", (module Ordo_db.Occ.Make (R) (OT)));
+    ("Hekaton", (module Ordo_db.Hekaton.Make (R) (LT2)));
+    ("HEKATON_ORDO", (module Ordo_db.Hekaton.Make (R) (OT)));
+  ]
+
+let fig13 ~full =
+  Report.section "Figure 13: YCSB read-only transactions (txn/us)";
+  let machines = if full then H.machines else [ Machine.xeon; Machine.arm ] in
+  List.iter
+    (fun m ->
+      let names = List.map fst (db_schemes m) in
+      let series =
+        List.map
+          (fun threads ->
+            let values =
+              List.map
+                (fun (_, (module C : Ordo_db.Cc_intf.S)) ->
+                  let module Y = Ordo_db.Ycsb.Make (R) (C) in
+                  let t = Y.create ~threads () in
+                  H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
+                      Y.run_tx t rng))
+                (db_schemes m)
+            in
+            (threads, values))
+          (H.cores_for ~full m)
+      in
+      Report.series ~title:(machine_name m) ~xlabel:"threads" ~cols:names series)
+    machines
+
+let fig14 ~full =
+  Report.section "Figure 14: TPC-C (60 warehouses, NewOrder+Payment) on Xeon";
+  let m = Machine.xeon in
+  let names = List.map fst (db_schemes m) in
+  let tput = ref [] and abort = ref [] in
+  List.iter
+    (fun threads ->
+      let per_scheme =
+        List.map
+          (fun (_, (module C : Ordo_db.Cc_intf.S)) ->
+            let module T = Ordo_db.Tpcc.Make (R) (C) in
+            let t = T.create ~threads () in
+            let rate =
+              H.throughput ~warm:100_000 ~dur:400_000 m ~threads (fun i rng ->
+                  T.run_tx t rng ~tid:i)
+            in
+            let commits = T.stats_commits t and aborts = T.stats_aborts t in
+            (rate, float_of_int aborts /. float_of_int (max 1 (commits + aborts))))
+          (db_schemes m)
+      in
+      tput := (threads, List.map fst per_scheme) :: !tput;
+      abort := (threads, List.map snd per_scheme) :: !abort)
+    (H.cores_for ~full m);
+  Report.series ~title:"throughput (txn/us)" ~xlabel:"threads" ~cols:names (List.rev !tput);
+  Report.series ~title:"abort rate" ~xlabel:"threads" ~cols:names (List.rev !abort)
+
+(* ---------- Figure 15: STAMP / TL2 ------------------------------------- *)
+
+let fig15 ~full =
+  Report.section "Figure 15: STAMP kernels, speedup over sequential (Xeon)";
+  let m = Machine.xeon in
+  let module LT = (val H.logical_ts ()) in
+  let module OT = (val H.ordo_ts m) in
+  let module StL = Ordo_stm.Stamp.Make (R) (LT) in
+  let module StO = Ordo_stm.Stamp.Make (R) (OT) in
+  let seq_rate kernel =
+    let inst = StL.create kernel ~threads:1 in
+    H.throughput ~warm:50_000 ~dur:200_000 m ~threads:1 (fun _ rng -> StL.run_seq inst rng)
+  in
+  List.iter2
+    (fun kernel_l kernel_o ->
+      let seq = seq_rate kernel_l in
+      let rows =
+        List.map
+          (fun threads ->
+            let l =
+              let inst = StL.create kernel_l ~threads in
+              H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
+                  StL.run_tx inst rng)
+            in
+            let o =
+              let inst = StO.create kernel_o ~threads in
+              H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
+                  StO.run_tx inst rng)
+            in
+            (threads, [ l /. seq; o /. seq ]))
+          (H.cores_for ~full m)
+      in
+      Report.series ~title:kernel_l.StL.name ~xlabel:"threads" ~cols:[ "TL2"; "TL2_ORDO" ] rows)
+    StL.kernels StO.kernels
+
+(* ---------- Ablations --------------------------------------------------- *)
+
+let ablate_runs ~full =
+  Report.section "Ablation: offset-measurement run count (min-of-runs convergence, Xeon)";
+  (* The paper takes the minimum over 100k rounds to filter interrupt and
+     scheduling noise out of the one-way delay.  Repeat each
+     configuration as independent trials: few rounds leave noisy
+     over-estimates in the tail; enough rounds make the estimate tight. *)
+  let writer = 110 and reader = 0 in
+  let trials = if full then 60 else 25 in
+  let rows =
+    List.map
+      (fun runs ->
+        let samples =
+          (* Distinct machine seeds per trial: noise draws differ. *)
+          Array.init trials (fun trial ->
+              let m = { Machine.xeon with Machine.seed = Int64.of_int (trial + 1) } in
+              let module E = (val Sim.exec m) in
+              let module B = Ordo_core.Boundary.Make (E) in
+              float_of_int (B.clock_offset ~runs ~writer ~reader ()))
+        in
+        let s = Ordo_util.Stats.summarize samples in
+        [
+          string_of_int runs;
+          Printf.sprintf "%.0f" s.Ordo_util.Stats.min;
+          Printf.sprintf "%.0f" s.Ordo_util.Stats.mean;
+          Printf.sprintf "%.0f" s.Ordo_util.Stats.max;
+        ])
+      [ 1; 3; 10; 30; 100 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "offset estimate over %d independent trials (outlier socket -> socket 0)"
+         trials)
+    ~header:[ "rounds"; "min"; "mean"; "max" ]
+    rows
+
+let ablate_rtt ~full =
+  ignore full;
+  Report.section "Ablation: NTP-style RTT/2 averaging vs the paper's directional maximum";
+  (* RTT/2 averaging cancels the skew out of the estimate, so the bound it
+     produces is *smaller* than the physical offset — unsound for ordering
+     (paper Figures 2 vs 5).  Demonstrated on the ARM preset (500 ns
+     skew). *)
+  let m = Machine.arm in
+  let module E = (val Sim.exec m) in
+  let module B = Ordo_core.Boundary.Make (E) in
+  let early = 0 and late = 48 in
+  let d_fwd = B.clock_offset ~runs:100 ~writer:early ~reader:late () in
+  let d_bwd = B.clock_offset ~runs:100 ~writer:late ~reader:early () in
+  let rtt_estimate = (d_fwd + d_bwd) / 2 in
+  let directional = max d_fwd d_bwd in
+  let physical = Machine.clock_reset_ns m late - Machine.clock_reset_ns m early in
+  Report.table ~title:"ARM cross-socket pair (socket-1 RESET ~500 ns late)"
+    ~header:[ "method"; "bound (ns)"; "covers physical skew?" ]
+    [
+      [ "physical skew"; string_of_int (abs physical); "-" ];
+      [
+        "RTT/2 averaging";
+        string_of_int rtt_estimate;
+        (if rtt_estimate > abs physical then "yes" else "NO (unsound)");
+      ];
+      [
+        "max of directions (Ordo)";
+        string_of_int directional;
+        (if directional > abs physical then "yes" else "NO");
+      ];
+    ]
+
+let ablate_uncertain ~full =
+  ignore full;
+  Report.section "Ablation: OCC_ORDO boundary inflation (uncertainty aborts vs waits)";
+  let m = Machine.xeon in
+  let measured = H.boundary_of m in
+  let threads = Topology.physical_cores m.Machine.topo in
+  let rows =
+    List.map
+      (fun scale ->
+        let boundary = max 1 (int_of_float (float_of_int measured *. scale)) in
+        let module OT = (val H.ordo_ts ~boundary m) in
+        let module C = Ordo_db.Occ.Make (R) (OT) in
+        let module Y = Ordo_db.Ycsb.Make (R) (C) in
+        let t = Y.create ~config:Ordo_db.Ycsb.update_heavy ~threads () in
+        let rate =
+          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng -> Y.run_tx t rng)
+        in
+        let commits = Y.stats_commits t and aborts = Y.stats_aborts t in
+        [
+          Printf.sprintf "%gx (%d ns)" scale boundary;
+          Printf.sprintf "%.1f" rate;
+          Printf.sprintf "%.3f" (float_of_int aborts /. float_of_int (max 1 (commits + aborts)));
+        ])
+      [ 1.0; 4.0; 16.0; 64.0 ]
+  in
+  Report.table
+    ~title:(Printf.sprintf "YCSB update-heavy at %d threads" threads)
+    ~header:[ "boundary"; "txn/us"; "abort rate" ]
+    rows
+
+let ablate_rlu_margin ~full =
+  ignore full;
+  Report.section "Ablation: RLU boundary soundness and commit margin (Section 4.1)";
+  (* The commit clock must dominate every reader clock before readers may
+     steal.  With the *measured* boundary (which covers the skew) the
+     algorithm is safe with or without the extra margin; with an
+     undersized boundary, readers on a fast-clock socket steal a
+     committing writer's copies too early and observe mixed snapshots.
+     ARM preset: socket 1's clocks run ~500 ns behind socket 0's; writers
+     run on socket 1, readers on socket 0. *)
+  let m = Machine.arm in
+  let sound = H.boundary_of m in
+  let run ~boundary ~commit_margin =
+    let module OT = (val H.ordo_ts ~boundary m) in
+    let module Rlu = Ordo_rlu.Rlu.Make (R) (OT) in
+    let writers = 6 and readers = 6 in
+    let t = Rlu.create ~commit_margin ~threads:96 () in
+    let a = Rlu.obj 500 and b = Rlu.obj 500 in
+    let violations = ref 0 and reads = ref 0 in
+    let writer i () =
+      let rng = Rng.create ~seed:(Int64.of_int (i + 3)) () in
+      while R.now () < 400_000 do
+        Rlu.reader_lock t;
+        let amount = Rng.int rng 40 in
+        if
+          Rlu.try_update t a (fun v -> v - amount)
+          && Rlu.try_update t b (fun v -> v + amount)
+        then Rlu.reader_unlock t
+        else Rlu.abort t
+      done
+    in
+    let reader () =
+      while R.now () < 400_000 do
+        Rlu.reader_lock t;
+        let va = Rlu.deref t a in
+        (* Section work between the two reads: the window in which a
+           writer whose quiescence wrongly skipped us can publish. *)
+        R.work 600;
+        let vb = Rlu.deref t b in
+        Rlu.reader_unlock t;
+        incr reads;
+        if va + vb <> 1000 then incr violations
+      done
+    in
+    let jobs =
+      List.init writers (fun i -> (48 + i, writer (48 + i)))
+      @ List.init readers (fun i -> (i, reader))
+    in
+    ignore (Sim.run_on m jobs : Ordo_sim.Engine.stats);
+    (!violations, !reads)
+  in
+  let rows =
+    List.map
+      (fun (label, boundary, margin) ->
+        let violations, reads = run ~boundary ~commit_margin:margin in
+        [
+          label;
+          string_of_int boundary;
+          string_of_int margin;
+          string_of_int violations;
+          string_of_int reads;
+        ])
+      [
+        ("sound boundary + margin", sound, sound);
+        ("sound boundary, no margin", sound, 0);
+        ("undersized boundary + margin", 60, 60);
+        ("undersized boundary, no margin", 60, 0);
+      ]
+  in
+  Report.table
+    ~title:"two-object invariant; writers on the late socket, readers on the early one"
+    ~header:[ "config"; "boundary (ns)"; "margin (ns)"; "inconsistent"; "snapshots" ]
+    rows
+
+(* ---------- Extensions beyond the paper's figures -------------------- *)
+
+let make_rlu_tree (module TS : Ordo_core.Timestamp.S) ~threads ~update_pct () =
+  let module Tr = Ordo_rlu.Rlu_tree.Make (R) (TS) in
+  let keyrange = 2048 in
+  let rlu = Tr.Rlu.create ~threads () in
+  let tree = Tr.create ~node_work:80 () in
+  (* Shuffled prefill: an external BST has no rebalancing, so ascending
+     inserts would degenerate it into a list. *)
+  let keys = Array.init (keyrange / 2) (fun k -> k * 2) in
+  Ordo_util.Rng.shuffle (Rng.create ~seed:7L ()) keys;
+  Array.iter (fun k -> ignore (Tr.add rlu tree k : bool)) keys;
+  let op _ rng =
+    let key = Rng.int rng keyrange in
+    if Rng.int rng 100 < update_pct then begin
+      if Rng.bool rng then ignore (Tr.add rlu tree key) else ignore (Tr.remove rlu tree key)
+    end
+    else ignore (Tr.contains rlu tree key)
+  and finish _ = () in
+  (op, finish)
+
+let fig11_tree ~full =
+  Report.section "Figure 11 (citrus tree): RLU search tree, Xeon";
+  (* Section 6.4: the tree benchmark shows the same ~2x improvement as
+     the hash table, with more complex multi-object updates. *)
+  List.iter
+    (fun update_pct ->
+      let logical =
+        H.sweep ~full Machine.xeon (fun ~threads ->
+            make_rlu_tree (H.logical_ts ()) ~threads ~update_pct ())
+      in
+      let ordo =
+        H.sweep ~full Machine.xeon (fun ~threads ->
+            make_rlu_tree (H.ordo_ts Machine.xeon) ~threads ~update_pct ())
+      in
+      Report.series
+        ~title:(Printf.sprintf "xeon tree, %d%% updates (ops/us)" update_pct)
+        ~xlabel:"threads"
+        ~cols:[ "RLU"; "RLU_ORDO" ]
+        (List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo))
+    [ 2; 40 ]
+
+let ext_wal ~full =
+  Report.section "Extension (Section 7): WAL LSN allocation, logical vs Ordo";
+  let m = Machine.xeon in
+  let make (module TS : Ordo_core.Timestamp.S) ~threads =
+    let module W = Ordo_db.Wal.Make (R) (TS) in
+    let w = W.create ~threads () in
+    fun i rng ->
+      (* log-record build cost + append; thread 0 group-commits now and
+         then, like a background flusher *)
+      R.work 120;
+      ignore (W.append w (Rng.int rng 1000) : int);
+      if i = 0 && Rng.int rng 256 = 0 then ignore (W.checkpoint w : int)
+  in
+  let rows =
+    List.map
+      (fun threads ->
+        let l =
+          let module TS = (val H.logical_ts ()) in
+          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (make (module TS) ~threads)
+        in
+        let o =
+          let module TS = (val H.ordo_ts m) in
+          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (make (module TS) ~threads)
+        in
+        (threads, [ l; o; o /. l ]))
+      (H.cores_for ~full m)
+  in
+  Report.series ~title:"log appends/us" ~xlabel:"threads"
+    ~cols:[ "logical LSN"; "ordo LSN"; "speedup" ]
+    rows
+
+let ext_tsstack ~full =
+  Report.section "Extension (Section 2/7): timestamped stack vs Treiber stack";
+  let m = Machine.xeon in
+  (* Baseline: a centralized Treiber stack (CAS on one top-of-stack
+     line). *)
+  let make_treiber ~threads:_ =
+    let top = R.cell [] in
+    fun i rng ->
+      if Rng.int rng 2 = 0 then begin
+        let rec push () =
+          let old = R.read top in
+          if not (R.cas top old (i :: old)) then push ()
+        in
+        push ()
+      end
+      else
+        let rec pop () =
+          match R.read top with
+          | [] -> ()
+          | _ :: rest as old -> if not (R.cas top old rest) then pop ()
+        in
+        pop ()
+  in
+  let make_ts ~threads =
+    let module TS = (val H.ordo_ts m) in
+    let module S = Ordo_oplog.Ts_stack.Make (R) (TS) in
+    let s = S.create ~threads () in
+    fun i rng ->
+      if Rng.int rng 2 = 0 then S.push s i else ignore (S.try_pop s : int option)
+  in
+  let rows =
+    List.map
+      (fun threads ->
+        let t = H.throughput ~warm:50_000 ~dur:150_000 m ~threads (make_treiber ~threads) in
+        let s = H.throughput ~warm:50_000 ~dur:150_000 m ~threads (make_ts ~threads) in
+        (threads, [ t; s ]))
+      (H.cores_for ~full m)
+  in
+  Report.series ~title:"stack ops/us (50% push / 50% pop)" ~xlabel:"threads"
+    ~cols:[ "Treiber"; "TS-stack(ordo)" ]
+    rows
+
+let ext_tpcc_full ~full =
+  ignore full;
+  Report.section "Extension: full five-transaction TPC-C mix (Xeon, 120 threads)";
+  let m = Machine.xeon in
+  let threads = 120 in
+  let rows =
+    List.map
+      (fun (name, (module C : Ordo_db.Cc_intf.S)) ->
+        let module T = Ordo_db.Tpcc.Make (R) (C) in
+        let t = T.create ~threads () in
+        let rate =
+          H.throughput ~warm:100_000 ~dur:300_000 m ~threads (fun i rng ->
+              T.run_tx_full t rng ~tid:i)
+        in
+        let commits = T.stats_commits t and aborts = T.stats_aborts t in
+        [
+          name;
+          Printf.sprintf "%.2f" rate;
+          Printf.sprintf "%.3f" (float_of_int aborts /. float_of_int (max 1 (commits + aborts)));
+        ])
+      (db_schemes m)
+  in
+  Report.table ~title:"45% NewOrder / 43% Payment / 4% OrderStatus / 4% Delivery / 4% StockLevel"
+    ~header:[ "scheme"; "txn/us"; "abort rate" ]
+    rows
+
+let ablate_pairwise ~full =
+  Report.section "Ablation (Section 7): per-pair boundary table vs one global boundary";
+  let m = Machine.xeon in
+  let module E = (val Sim.exec m) in
+  let module B = Ordo_core.Boundary.Make (E) in
+  let cores = H.sample_cores ~count:(if full then 16 else 12) m in
+  let table = B.pair_matrix ~runs:(if full then 200 else 60) ~cores () in
+  let module P = Ordo_core.Pairwise.Make (R) (struct let table = table end) in
+  let n = Array.length table in
+  (* For each pair class, how much smaller is the usable window? *)
+  let topo = m.Machine.topo in
+  let arr = Array.of_list cores in
+  let intra = ref [] and cross = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bucket =
+        if Topology.same_socket topo arr.(i) arr.(j) then intra else cross
+      in
+      bucket := float_of_int table.(i).(j) :: !bucket
+    done
+  done;
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)) in
+  Report.table ~title:"uncertainty window by pair class (ns)"
+    ~header:[ "pair class"; "mean pair boundary"; "global boundary"; "window shrink" ]
+    [
+      [
+        "same socket";
+        Printf.sprintf "%.0f" (mean !intra);
+        string_of_int P.global_boundary;
+        Printf.sprintf "%.1fx" (float_of_int P.global_boundary /. mean !intra);
+      ];
+      [
+        "cross socket";
+        Printf.sprintf "%.0f" (mean !cross);
+        string_of_int P.global_boundary;
+        Printf.sprintf "%.1fx" (float_of_int P.global_boundary /. mean !cross);
+      ];
+    ];
+  let words_full =
+    let t = Topology.total_threads topo in
+    t * t
+  in
+  Report.kv "memory cost of the full table (the paper's objection)"
+    (Printf.sprintf "%d^2 = %d words (vs 1)" (Topology.total_threads topo) words_full)

@@ -1,0 +1,94 @@
+(* Shared machinery for the experiment harness: machine sweeps, boundary
+   measurement/caching, timestamp-source construction and throughput
+   loops.  Everything runs on the simulator; Micro.ml covers the live
+   host. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Rng = Ordo_util.Rng
+module Topology = Ordo_util.Topology
+module Report = Ordo_util.Report
+
+let machines = Machine.presets
+
+(* Thread counts swept for a machine: physical cores socket by socket,
+   then SMT lanes, like the paper's x axes. *)
+let cores_for ?(full = false) (m : Machine.t) =
+  let topo = m.Machine.topo in
+  let total = Topology.total_threads topo in
+  let physical = Topology.physical_cores topo in
+  let per_socket = topo.Topology.cores_per_socket in
+  let candidates =
+    if full then
+      let rec doubling acc n = if n >= total then List.rev (total :: acc) else doubling (n :: acc) (n * 2) in
+      doubling [] 1 @ [ per_socket; physical / 2; physical ]
+    else [ 1; per_socket; physical / 2; physical; total ]
+  in
+  List.sort_uniq compare (List.filter (fun n -> n >= 1 && n <= total) candidates)
+
+(* Sampled hardware threads for offset matrices: cover every socket and
+   the SMT extremes without measuring all O(n^2) pairs. *)
+let sample_cores ?(count = 12) (m : Machine.t) =
+  let topo = m.Machine.topo in
+  let total = Topology.total_threads topo in
+  let stride = max 1 (total / count) in
+  let picks = List.init total Fun.id |> List.filter (fun i -> i mod stride = 0) in
+  (* Always include the last thread of the last socket (the RESET outlier
+     in the Xeon/ARM presets lives there). *)
+  let physical = Topology.physical_cores topo in
+  List.sort_uniq compare ((physical - 1) :: (total - 1) :: picks)
+
+(* Measured ORDO_BOUNDARY per machine, memoized. *)
+let boundary_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let boundary_of ?(runs = 60) (m : Machine.t) =
+  let key = m.Machine.topo.Topology.name in
+  match Hashtbl.find_opt boundary_cache key with
+  | Some b -> b
+  | None ->
+    let module E = (val Sim.exec m) in
+    let module B = Ordo_core.Boundary.Make (E) in
+    let b = B.measure ~runs ~cores:(sample_cores m) () in
+    Hashtbl.add boundary_cache key b;
+    b
+
+(* Timestamp sources.  [logical] is generative (fresh global clock); the
+   ordo source closes over the machine's measured boundary. *)
+let logical_ts () : (module Ordo_core.Timestamp.S) =
+  (module Ordo_core.Timestamp.Logical (R) ())
+
+let ordo_ts ?boundary (m : Machine.t) : (module Ordo_core.Timestamp.S) =
+  let b = match boundary with Some b -> b | None -> boundary_of m in
+  let module O = Ordo_core.Ordo.Make (R) (struct let boundary = b end) in
+  (module Ordo_core.Timestamp.Ordo_source (O))
+
+(* Closed-loop throughput: run [op] on every thread with a warmup, return
+   operations per microsecond. *)
+let throughput ?(warm = 100_000) ?(dur = 400_000) ?(finish = fun _ -> ()) machine ~threads op =
+  let ops = Array.make threads 0 in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int ((i * 7919) + 13)) () in
+         while R.now () < warm do
+           op i rng
+         done;
+         while R.now () < warm + dur do
+           op i rng;
+           ops.(i) <- ops.(i) + 1
+         done;
+         (* Per-thread teardown before the fiber exits (e.g. flushing RLU
+            deferred commits, which would otherwise leave objects locked
+            and spin conflicting threads forever). *)
+         finish i)
+      : Ordo_sim.Engine.stats);
+  float_of_int (Array.fold_left ( + ) 0 ops) /. (float_of_int dur /. 1000.)
+
+(* Sweep thread counts, building each configuration fresh via [make],
+   which returns the per-op closure and a per-thread teardown. *)
+let sweep ?full ?warm ?dur machine make =
+  List.map
+    (fun threads ->
+      let op, finish = make ~threads in
+      (threads, throughput ?warm ?dur ~finish machine ~threads op))
+    (cores_for ?full machine)

@@ -1,0 +1,78 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper at a
+   reduced scale, runs the ablation studies and the live-host Bechamel
+   microbenchmarks.  Select individual experiments by name, and use
+   [--full] for paper-scale sweeps (slower). *)
+
+let experiments : (string * string * (full:bool -> unit)) list =
+  [
+    ("tab1", "Table 1: machines and measured clock offsets", Experiments.tab1);
+    ("fig1", "Figure 1: RLU vs RLU_ORDO on Phi, 2% updates", Experiments.fig1);
+    ("fig8a", "Figure 8a: timestamp cost vs threads", Experiments.fig8a);
+    ("fig8b", "Figure 8b: timestamp generation, atomic vs Ordo", Experiments.fig8b);
+    ("fig9", "Figure 9: pairwise offset heatmaps", Experiments.fig9);
+    ("fig10", "Figure 10: Exim over the reverse map", Experiments.fig10);
+    ("fig11", "Figure 11: RLU hash table on four machines", Experiments.fig11);
+    ("fig12", "Figure 12: deferral-based RLU", Experiments.fig12);
+    ("fig13", "Figure 13: YCSB read-only CC comparison", Experiments.fig13);
+    ("fig14", "Figure 14: TPC-C throughput and abort rate", Experiments.fig14);
+    ("fig15", "Figure 15: STAMP kernels on TL2", Experiments.fig15);
+    ("fig16", "Figure 16: ORDO_BOUNDARY sensitivity", Experiments.fig16);
+    ("fig11t", "Figure 11 extension: RLU citrus tree", Experiments.fig11_tree);
+    ("ext_wal", "Extension: WAL LSN allocation", Experiments.ext_wal);
+    ("ext_tsstack", "Extension: timestamped stack vs Treiber", Experiments.ext_tsstack);
+    ("ext_tpcc_full", "Extension: full TPC-C mix", Experiments.ext_tpcc_full);
+    ("ablate_runs", "Ablation: min-of-runs convergence", Experiments.ablate_runs);
+    ("ablate_pairwise", "Ablation: per-pair boundary table", Experiments.ablate_pairwise);
+    ("ablate_rtt", "Ablation: RTT/2 vs directional max", Experiments.ablate_rtt);
+    ("ablate_uncertain", "Ablation: OCC_ORDO boundary inflation", Experiments.ablate_uncertain);
+    ("ablate_rlu_margin", "Ablation: RLU commit margin", Experiments.ablate_rlu_margin);
+    ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
+  ]
+
+let run_experiments names full =
+  let all = List.map (fun (n, _, _) -> n) experiments in
+  let selected = match names with [] -> all | names -> names in
+  let known n = List.exists (fun (n', _, _) -> n' = n) experiments in
+  match List.filter (fun n -> not (known n)) selected with
+  | u :: _ ->
+    Printf.eprintf "unknown experiment %S; available: %s\n" u (String.concat " " all);
+    exit 2
+  | [] ->
+    List.iter
+      (fun name ->
+        let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+        f ~full)
+      selected;
+    print_newline ()
+
+open Cmdliner
+
+let names_arg =
+  let doc =
+    "Experiments to run (default: all).  Available: "
+    ^ String.concat ", " (List.map (fun (n, _, _) -> n) experiments)
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full_arg =
+  let doc = "Paper-scale sweeps: denser core counts, more measurement runs (slower)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the tables and figures of the Ordo paper (EuroSys'18)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Every experiment runs on a deterministic simulator of the paper's four machines \
+         (Table 1 presets); $(b,micro) additionally measures the live host.  See \
+         EXPERIMENTS.md for the paper-vs-measured record.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ordo-bench" ~doc ~man)
+    Term.(const run_experiments $ names_arg $ full_arg)
+
+let () = exit (Cmd.eval cmd)

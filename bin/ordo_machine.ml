@@ -1,0 +1,25 @@
+(* Report the host's clock backend and calibration — a quick sanity probe
+   before trusting Ordo timestamps on a new machine. *)
+
+let () =
+  let open Ordo_clock in
+  Ordo_util.Report.section "Host clock report";
+  Ordo_util.Report.kv "hardware cycle counter"
+    (if Tsc.hardware_backend then "yes (RDTSC/CNTVCT)" else "no (CLOCK_MONOTONIC fallback)");
+  Ordo_util.Report.kv "online CPUs" (string_of_int (Tsc.num_cpus ()));
+  Ordo_util.Report.kv "current CPU" (string_of_int (Tsc.current_cpu ()));
+  let cal = Tsc.calibrate ~duration_ms:100 () in
+  Ordo_util.Report.kv "counter rate"
+    (Printf.sprintf "%.4f ticks/ns (~%.2f GHz)" cal.Tsc.ticks_per_ns cal.Tsc.ticks_per_ns);
+  (* Serialized-read cost: the floor for every Ordo timestamp. *)
+  let samples = 200_000 in
+  let t0 = Tsc.mono_ns () in
+  for _ = 1 to samples do
+    ignore (Clock.Host.get_time ())
+  done;
+  let t1 = Tsc.mono_ns () in
+  Ordo_util.Report.kv "serialized timestamp cost"
+    (Printf.sprintf "%.1f ns" (float_of_int (t1 - t0) /. float_of_int samples));
+  let a = Clock.Host.get_time () in
+  let b = Clock.Host.get_time () in
+  Ordo_util.Report.kv "monotonic" (if b >= a then "ok" else "VIOLATION")

@@ -1,0 +1,66 @@
+(* Measure the live machine's pairwise clock offsets and ORDO_BOUNDARY
+   (the paper's Figure 4 algorithm on real cores), or a simulated preset
+   with --machine. *)
+
+open Cmdliner
+module Report = Ordo_util.Report
+
+let measure_live runs max_cores =
+  let cpus = min (Ordo_clock.Tsc.num_cpus ()) max_cores in
+  Report.section "Live clock-offset measurement";
+  Report.kv "cores" (string_of_int cpus);
+  if cpus < 2 then
+    print_endline
+      "Only one CPU online: there are no core pairs to measure, so the\n\
+       ORDO_BOUNDARY is trivially 0.  Try --machine xeon to run the\n\
+       measurement on a simulated multicore machine."
+  else begin
+    let module B = Ordo_core.Boundary.Make (Ordo_runtime.Real.Exec) in
+    let cores = List.init cpus Fun.id in
+    let matrix = B.offset_matrix ~runs ~cores () in
+    Report.matrix ~title:"measured offsets (ns), writer row -> reader column" ~row_label:"w\\r"
+      matrix;
+    let boundary = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 matrix in
+    Report.kv "ORDO_BOUNDARY (ns)" (string_of_int boundary)
+  end
+
+let measure_sim name runs =
+  match Ordo_sim.Machine.by_name name with
+  | None ->
+    Printf.eprintf "unknown machine %S (available: xeon phi amd arm)\n" name;
+    exit 2
+  | Some m ->
+    Report.section (Printf.sprintf "Simulated clock-offset measurement: %s" name);
+    let module E = (val Ordo_sim.Sim.exec m) in
+    let module B = Ordo_core.Boundary.Make (E) in
+    let total = Ordo_util.Topology.total_threads m.Ordo_sim.Machine.topo in
+    let stride = max 1 (total / 16) in
+    let cores = List.filter (fun i -> i mod stride = 0) (List.init total Fun.id) in
+    let matrix = B.offset_matrix ~runs ~cores () in
+    Report.kv "sampled hw threads" (String.concat "," (List.map string_of_int cores));
+    Report.matrix ~title:"measured offsets (ns), writer row -> reader column" ~row_label:"w\\r"
+      matrix;
+    let boundary = B.measure ~runs ~cores () in
+    Report.kv "ORDO_BOUNDARY (ns)" (string_of_int boundary)
+
+let run machine runs max_cores =
+  match machine with None -> measure_live runs max_cores | Some name -> measure_sim name runs
+
+let machine_arg =
+  let doc = "Measure a simulated Table 1 machine (xeon, phi, amd, arm) instead of the host." in
+  Arg.(value & opt (some string) None & info [ "machine"; "m" ] ~docv:"NAME" ~doc)
+
+let runs_arg =
+  let doc = "Measurement rounds per core pair (the minimum is kept)." in
+  Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc)
+
+let max_cores_arg =
+  let doc = "Limit the number of live cores measured (pairs grow quadratically)." in
+  Arg.(value & opt int 16 & info [ "max-cores" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Measure pairwise invariant-clock offsets and the ORDO_BOUNDARY" in
+  Cmd.v (Cmd.info "ordo-offsets" ~doc)
+    Term.(const run $ machine_arg $ runs_arg $ max_cores_arg)
+
+let () = exit (Cmd.eval cmd)

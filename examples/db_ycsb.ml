@@ -1,0 +1,44 @@
+(* Run a YCSB mix against all six concurrency-control schemes on the live
+   host, printing committed-transaction rates and abort counts — the
+   miniature of Figure 13/14.
+
+     dune exec examples/db_ycsb.exe *)
+
+module R = Ordo_runtime.Real.Runtime
+module Ordo = Ordo_core.Ordo.Make (R) (struct let boundary = 276 end)
+module OT = Ordo_core.Timestamp.Ordo_source (Ordo)
+module LT1 = Ordo_core.Timestamp.Logical (R) ()
+module LT2 = Ordo_core.Timestamp.Logical (R) ()
+
+let schemes : (string * (module Ordo_db.Cc_intf.S)) list =
+  [
+    ("OCC", (module Ordo_db.Occ.Make (R) (LT1)));
+    ("OCC_ORDO", (module Ordo_db.Occ.Make (R) (OT)));
+    ("Hekaton", (module Ordo_db.Hekaton.Make (R) (LT2)));
+    ("HEKATON_ORDO", (module Ordo_db.Hekaton.Make (R) (OT)));
+    ("Silo", (module Ordo_db.Silo.Make (R)));
+    ("TicToc", (module Ordo_db.Tictoc.Make (R)));
+  ]
+
+let () =
+  let threads = 4 and txs_per_thread = 5_000 in
+  Printf.printf "%-14s %12s %10s %8s\n" "scheme" "txn/s" "commits" "aborts";
+  List.iter
+    (fun (name, (module C : Ordo_db.Cc_intf.S)) ->
+      let module Y = Ordo_db.Ycsb.Make (R) (C) in
+      let config = { Ordo_db.Ycsb.update_heavy with Ordo_db.Ycsb.rows = 4_096 } in
+      let t = Y.create ~config ~threads () in
+      let t0 = Ordo_clock.Tsc.mono_ns () in
+      Ordo_runtime.Real.run ~threads (fun i ->
+          let rng = Ordo_util.Rng.create ~seed:(Int64.of_int (i + 1)) () in
+          for _ = 1 to txs_per_thread do
+            Y.run_tx t rng
+          done);
+      let dt = Ordo_clock.Tsc.mono_ns () - t0 in
+      let commits = Y.stats_commits t and aborts = Y.stats_aborts t in
+      assert (commits = threads * txs_per_thread);
+      Printf.printf "%-14s %12.0f %10d %8d\n" name
+        (float_of_int commits /. (float_of_int dt /. 1e9))
+        commits aborts)
+    schemes;
+  print_endline "db_ycsb ok"

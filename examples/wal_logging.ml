@@ -1,0 +1,37 @@
+(* Write-ahead logging with decentralized Ordo LSNs (the paper's Section 7
+   opportunity): every domain appends to its own buffer with core-local
+   timestamps; a group commit merges them in LSN order.
+
+     dune exec examples/wal_logging.exe *)
+
+module R = Ordo_runtime.Real.Runtime
+module Ordo = Ordo_core.Ordo.Make (R) (struct let boundary = 276 end)
+module TS = Ordo_core.Timestamp.Ordo_source (Ordo)
+module Wal = Ordo_db.Wal.Make (R) (TS)
+
+let () =
+  let threads = 4 and per = 10_000 in
+  let wal = Wal.create ~threads () in
+  let t0 = Ordo_clock.Tsc.mono_ns () in
+  Ordo_runtime.Real.run ~threads (fun i ->
+      for seq = 0 to per - 1 do
+        ignore (Wal.append wal ((i * 100_000) + seq) : int);
+        (* domain 0 moonlights as the group-commit flusher *)
+        if i = 0 && seq mod 1024 = 0 then ignore (Wal.checkpoint wal : int)
+      done);
+  ignore (Wal.checkpoint wal : int);
+  let dt = Ordo_clock.Tsc.mono_ns () - t0 in
+  Printf.printf "appended %d records in %.1f ms (%.1f appends/us)\n"
+    (Wal.durable_count wal)
+    (float_of_int dt /. 1e6)
+    (float_of_int (Wal.durable_count wal) /. (float_of_int dt /. 1e3));
+  assert (Wal.durable_count wal = threads * per);
+  (* Recovery invariant: per-thread program order survives the merge. *)
+  let seen = Array.make threads (-1) in
+  List.iter
+    (fun r ->
+      let core = r.Wal.payload / 100_000 and seq = r.Wal.payload mod 100_000 in
+      assert (seq > seen.(core));
+      seen.(core) <- seq)
+    (Wal.durable wal);
+  print_endline "wal_logging ok (program order preserved through the merge)"

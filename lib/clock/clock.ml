@@ -1,0 +1,27 @@
+module type S = sig
+  val name : string
+  val get_time : unit -> int
+end
+
+module Host = struct
+  let name = if Tsc.hardware_backend then "host-tsc" else "host-mono"
+
+  (* The calibration is forced once at first use; after that a read is one
+     counter instruction plus a float multiply. *)
+  let get_time () =
+    let cal = Tsc.calibration () in
+    Tsc.ticks_to_ns cal (Tsc.ticks_serialized ())
+end
+
+module Host_fast = struct
+  let name = if Tsc.hardware_backend then "host-tsc-fast" else "host-mono"
+
+  let get_time () =
+    let cal = Tsc.calibration () in
+    Tsc.ticks_to_ns cal (Tsc.ticks ())
+end
+
+module Mono = struct
+  let name = "mono"
+  let get_time () = Tsc.mono_ns ()
+end

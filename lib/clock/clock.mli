@@ -1,0 +1,26 @@
+(** Clock sources for the Ordo primitive.
+
+    A clock source is anything that returns a monotonically increasing,
+    constant-rate per-core timestamp in nanoseconds — a real invariant
+    hardware counter ({!Host}) or a simulated one (see [Ordo_sim]).  The
+    Ordo primitive ([Ordo_core]) is a functor over this signature, so the
+    same code measures offsets on the live machine and in the simulator. *)
+
+module type S = sig
+  val name : string
+
+  val get_time : unit -> int
+  (** Current value of the calling core's invariant clock, in nanoseconds.
+      The read is serialized with respect to preceding instructions. *)
+end
+
+module Host : S
+(** The host's hardware clock (TSC / CNTVCT), serialized and converted to
+    nanoseconds with the process-wide calibration.  Falls back to
+    [CLOCK_MONOTONIC] when no cycle counter is available. *)
+
+module Host_fast : S
+(** Same source without the serializing read; only for cost comparisons. *)
+
+module Mono : S
+(** [CLOCK_MONOTONIC]; a zero-skew reference clock. *)

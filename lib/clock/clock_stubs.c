@@ -1,0 +1,148 @@
+/* C stubs for invariant hardware clocks and small CPU primitives.
+ *
+ * The OCaml externals below are declared [@@noalloc] and return untagged-
+ * friendly values via Val_long, so none of these functions may allocate on
+ * the OCaml heap or raise.
+ */
+
+#define _GNU_SOURCE
+#include <caml/mlvalues.h>
+#include <time.h>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define ORDO_HAVE_TSC 1
+
+static inline unsigned long long ordo_raw_ticks(void)
+{
+  return __rdtsc();
+}
+
+/* RDTSCP waits for prior loads/stores to retire, which is the ordering the
+ * paper requires when a timestamp marks an operation (Section 7). */
+static inline unsigned long long ordo_raw_ticks_serialized(void)
+{
+  unsigned int aux;
+  return __rdtscp(&aux);
+}
+
+static inline int ordo_raw_cpu(void)
+{
+  unsigned int aux;
+  (void)__rdtscp(&aux);
+  return (int)(aux & 0xfff);
+}
+
+#elif defined(__aarch64__)
+#define ORDO_HAVE_TSC 1
+
+static inline unsigned long long ordo_raw_ticks(void)
+{
+  unsigned long long v;
+  __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+}
+
+static inline unsigned long long ordo_raw_ticks_serialized(void)
+{
+  unsigned long long v;
+  __asm__ __volatile__("isb; mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+}
+
+static inline int ordo_raw_cpu(void)
+{
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+#else
+#define ORDO_HAVE_TSC 0
+
+static inline unsigned long long ordo_raw_ticks(void) { return 0; }
+static inline unsigned long long ordo_raw_ticks_serialized(void) { return 0; }
+static inline int ordo_raw_cpu(void) { return -1; }
+#endif
+
+CAMLprim value ordo_clock_has_tsc(value unit)
+{
+  (void)unit;
+  return Val_bool(ORDO_HAVE_TSC);
+}
+
+CAMLprim value ordo_clock_ticks(value unit)
+{
+  (void)unit;
+  return Val_long((long)ordo_raw_ticks());
+}
+
+CAMLprim value ordo_clock_ticks_serialized(value unit)
+{
+  (void)unit;
+  return Val_long((long)ordo_raw_ticks_serialized());
+}
+
+CAMLprim value ordo_clock_mono_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}
+
+CAMLprim value ordo_clock_cpu_relax(value unit)
+{
+  (void)unit;
+#if defined(__x86_64__) || defined(__i386__)
+  __asm__ __volatile__("pause");
+#elif defined(__aarch64__)
+  __asm__ __volatile__("yield");
+#endif
+  return Val_unit;
+}
+
+CAMLprim value ordo_clock_current_cpu(value unit)
+{
+  (void)unit;
+#if defined(__linux__)
+  {
+    int cpu = ordo_raw_cpu();
+    if (cpu < 0)
+      cpu = sched_getcpu();
+    return Val_long(cpu);
+  }
+#else
+  return Val_long(-1);
+#endif
+}
+
+CAMLprim value ordo_clock_set_affinity(value core)
+{
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(Long_val(core) % (long)sysconf(_SC_NPROCESSORS_ONLN), &set);
+  return Val_bool(sched_setaffinity(0, sizeof(set), &set) == 0);
+#else
+  (void)core;
+  return Val_bool(0);
+#endif
+}
+
+CAMLprim value ordo_clock_num_cpus(value unit)
+{
+  (void)unit;
+#if defined(__linux__)
+  return Val_long(sysconf(_SC_NPROCESSORS_ONLN));
+#else
+  return Val_long(1);
+#endif
+}

@@ -1,0 +1,43 @@
+external has_tsc : unit -> bool = "ordo_clock_has_tsc" [@@noalloc]
+external raw_ticks : unit -> int = "ordo_clock_ticks" [@@noalloc]
+external raw_ticks_serialized : unit -> int = "ordo_clock_ticks_serialized" [@@noalloc]
+external mono_ns : unit -> int = "ordo_clock_mono_ns" [@@noalloc]
+external cpu_relax : unit -> unit = "ordo_clock_cpu_relax" [@@noalloc]
+external current_cpu : unit -> int = "ordo_clock_current_cpu" [@@noalloc]
+external set_affinity_raw : int -> bool = "ordo_clock_set_affinity" [@@noalloc]
+external num_cpus : unit -> int = "ordo_clock_num_cpus" [@@noalloc]
+
+let hardware_backend = has_tsc ()
+let ticks () = if hardware_backend then raw_ticks () else mono_ns ()
+let ticks_serialized () = if hardware_backend then raw_ticks_serialized () else mono_ns ()
+let set_affinity core = set_affinity_raw core
+
+type calibration = { ticks_per_ns : float; measured_over_ns : int }
+
+let calibrate ?(duration_ms = 50) () =
+  if not hardware_backend then { ticks_per_ns = 1.0; measured_over_ns = 0 }
+  else begin
+    let t0_ns = mono_ns () in
+    let t0 = ticks_serialized () in
+    let target = t0_ns + (duration_ms * 1_000_000) in
+    while mono_ns () < target do
+      cpu_relax ()
+    done;
+    let t1 = ticks_serialized () in
+    let t1_ns = mono_ns () in
+    let elapsed_ns = t1_ns - t0_ns in
+    let rate = if elapsed_ns <= 0 then 1.0 else float_of_int (t1 - t0) /. float_of_int elapsed_ns in
+    { ticks_per_ns = (if rate <= 0.0 then 1.0 else rate); measured_over_ns = elapsed_ns }
+  end
+
+let cached = ref None
+
+let calibration () =
+  match !cached with
+  | Some c -> c
+  | None ->
+    let c = calibrate () in
+    cached := Some c;
+    c
+
+let ticks_to_ns cal t = int_of_float (float_of_int t /. cal.ticks_per_ns)

@@ -1,0 +1,53 @@
+(** Raw access to the host's invariant hardware clock.
+
+    On x86-64 this is the TSC read with [RDTSC]/[RDTSCP]; on AArch64 the
+    generic-timer counter [CNTVCT_EL0].  On other hosts the functions fall
+    back to [CLOCK_MONOTONIC] so the library stays usable (the monotonic
+    clock is globally synchronized by the kernel, i.e. a zero-skew
+    "hardware" clock).
+
+    Raw readings are in backend-specific ticks; use {!calibration} /
+    {!ticks_to_ns} to convert to nanoseconds. *)
+
+val hardware_backend : bool
+(** [true] when a real cycle counter is available (x86-64 or AArch64). *)
+
+val ticks : unit -> int
+(** Fast unserialized read of the counter (raw ticks).  Falls back to
+    monotonic nanoseconds when no hardware backend exists. *)
+
+val ticks_serialized : unit -> int
+(** Read that waits for preceding instructions (RDTSCP / ISB+CNTVCT); this
+    is the read the Ordo API must use so a timestamp cannot be taken before
+    the operation it marks. *)
+
+val mono_ns : unit -> int
+(** [CLOCK_MONOTONIC] in nanoseconds, independent of the backend. *)
+
+type calibration = {
+  ticks_per_ns : float;  (** Counter rate; 1.0 for the monotonic fallback. *)
+  measured_over_ns : int;  (** Wall-clock length of the calibration run. *)
+}
+
+val calibrate : ?duration_ms:int -> unit -> calibration
+(** Measure the counter rate against [CLOCK_MONOTONIC].  Cached by
+    {!calibration}. *)
+
+val calibration : unit -> calibration
+(** Lazily computed (and then cached) calibration for this process. *)
+
+val ticks_to_ns : calibration -> int -> int
+(** Convert a tick count (or tick delta) to nanoseconds. *)
+
+val cpu_relax : unit -> unit
+(** PAUSE/YIELD hint for spin loops. *)
+
+val current_cpu : unit -> int
+(** CPU the calling thread runs on, or [-1] if unknown. *)
+
+val set_affinity : int -> bool
+(** Best-effort pinning of the calling thread to a CPU; [false] when
+    unsupported or refused. *)
+
+val num_cpus : unit -> int
+(** Online CPUs on this host. *)

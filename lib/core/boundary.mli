@@ -1,0 +1,36 @@
+(** Measurement of the [ORDO_BOUNDARY] — the algorithm of paper Figure 4.
+
+    The offset from core [ci] to core [cj] is measured by having [ci]
+    publish its clock through a shared cache line while [cj] spins on that
+    line and, on observing the value, subtracts it from its own clock.
+    The one-way cache-line delay makes every such measurement an
+    over-estimate of the physical skew, so the *minimum* over many runs,
+    maximized over both directions of every core pair, is a sound global
+    uncertainty window (Section 3.2's lemma and theorem). *)
+
+module Make (E : Ordo_runtime.Runtime_intf.EXEC) : sig
+  val clock_offset : ?runs:int -> writer:int -> reader:int -> unit -> int
+  (** [clock_offset ~writer ~reader ()] is the measured offset δ from
+      [writer]'s clock to [reader]'s clock: the minimum over [runs]
+      (default 1000) rounds of [reader_clock - writer_value] observed
+      through a shared line.  Cores are hardware-thread ids. *)
+
+  val pair_offset : ?runs:int -> int -> int -> int
+  (** [pair_offset c0 c1] is [max (δ c0→c1) (δ c1→c0)] — the usable bound
+      for this pair, per the paper's lemma. *)
+
+  val offset_matrix : ?runs:int -> ?cores:int list -> unit -> int array array
+  (** Full pairwise matrix (Figure 9): entry [(i, j)] is the offset
+      measured from core [i] to core [j]; the diagonal is 0.  [cores]
+      restricts/sub-samples the measured set (indices into the returned
+      matrix are positions in that list). *)
+
+  val measure : ?runs:int -> ?cores:int list -> unit -> int
+  (** The global offset: maximum entry of the pairwise matrix.  This is
+      the machine's [ORDO_BOUNDARY]. *)
+
+  val pair_matrix : ?runs:int -> ?cores:int list -> unit -> int array array
+  (** Symmetric per-pair boundaries: entry [(i, j)] is
+      [max (δ i→j) (δ j→i)] — the table consumed by [Pairwise.Make]
+      (Section 7's finer-grained alternative). *)
+end

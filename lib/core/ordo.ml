@@ -1,0 +1,35 @@
+module type S = sig
+  val boundary : int
+  val get_time : unit -> int
+  val cmp_time : int -> int -> int
+  val new_time : int -> int
+end
+
+module Make
+    (R : Ordo_runtime.Runtime_intf.S)
+    (Config : sig
+      val boundary : int
+    end) =
+struct
+  let boundary =
+    if Config.boundary < 0 then invalid_arg "Ordo.Make: negative boundary";
+    Config.boundary
+
+  let get_time () = R.get_time ()
+
+  (* Saturating add: comparisons against a [max_int] sentinel (used by
+     clients for "no timestamp yet / infinity") must not overflow. *)
+  let add_sat a b = if a > max_int - b then max_int else a + b
+  let cmp_time t1 t2 = if t1 > add_sat t2 boundary then 1 else if add_sat t1 boundary < t2 then -1 else 0
+
+  let new_time t =
+    let rec wait () =
+      let now = R.get_time () in
+      if cmp_time now t = 1 then now
+      else begin
+        R.pause ();
+        wait ()
+      end
+    in
+    wait ()
+end

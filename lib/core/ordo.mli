@@ -1,0 +1,38 @@
+(** The Ordo primitive (paper Figure 3).
+
+    Ordo turns a set of per-core invariant clocks — monotonic, constant
+    rate, but started at different instants — into the illusion of a single
+    global hardware clock with a known uncertainty window, the
+    [ORDO_BOUNDARY].  Two timestamps closer than the boundary cannot be
+    ordered; everything farther apart orders correctly on any core.
+
+    Obtain the boundary for the execution substrate with {!Boundary}
+    (measured, Figure 4's algorithm) and instantiate {!Make}. *)
+
+module type S = sig
+  val boundary : int
+  (** The [ORDO_BOUNDARY] in nanoseconds: a measured upper bound on the
+      clock skew between any two cores. *)
+
+  val get_time : unit -> int
+  (** Current timestamp from the calling core's invariant clock.  The read
+      is serialized: it cannot appear to happen before preceding
+      instructions. *)
+
+  val cmp_time : int -> int -> int
+  (** [cmp_time t1 t2] is [1] if [t1 > t2 + boundary], [-1] if
+      [t1 + boundary < t2], and [0] — uncertain — otherwise.  Certain
+      results are correct even when [t1] and [t2] were read on different
+      cores. *)
+
+  val new_time : int -> int
+  (** [new_time t] spins until it can return a timestamp strictly greater
+      than [t + boundary]: a timestamp that every core in the machine will
+      order after [t]. *)
+end
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (Config : sig
+  val boundary : int
+end) : S
+(** Instantiate the API over an execution substrate and a boundary
+    (normally [Boundary.measure] on the same substrate). *)

@@ -1,0 +1,41 @@
+module Make
+    (R : Ordo_runtime.Runtime_intf.S)
+    (Config : sig
+      val table : int array array
+    end) =
+struct
+  let table = Config.table
+
+  let () =
+    let n = Array.length table in
+    Array.iter
+      (fun row -> if Array.length row <> n then invalid_arg "Pairwise.Make: table not square")
+      table;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if table.(i).(j) <> table.(j).(i) then invalid_arg "Pairwise.Make: table not symmetric";
+        if table.(i).(j) < 0 then invalid_arg "Pairwise.Make: negative boundary"
+      done
+    done
+
+  let boundary c1 c2 = table.(c1).(c2)
+  let global_boundary = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 table
+  let get_time () = R.get_time ()
+  let add_sat a b = if a > max_int - b then max_int else a + b
+
+  let cmp_time ~c1 t1 ~c2 t2 =
+    let b = boundary c1 c2 in
+    if t1 > add_sat t2 b then 1 else if add_sat t1 b < t2 then -1 else 0
+
+  let new_time ~c_from t =
+    let me = R.tid () in
+    let rec wait () =
+      let now = R.get_time () in
+      if cmp_time ~c1:me now ~c2:c_from t = 1 then now
+      else begin
+        R.pause ();
+        wait ()
+      end
+    in
+    wait ()
+end

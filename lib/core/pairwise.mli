@@ -1,0 +1,35 @@
+(** Per-core-pair uncertainty windows — the finer-grained alternative to
+    one global ORDO_BOUNDARY that the paper discusses (and argues against)
+    in Section 7.
+
+    A single global boundary is the maximum over all pairs, so two cores
+    on the same socket pay the cross-socket worst case when comparing
+    their timestamps.  Keeping the full pairwise table shrinks the
+    uncertainty window for close pairs at the cost of O(n²) memory, and —
+    the paper's deeper objection — it forces timestamps to carry their
+    originating core and threads to stay pinned.  This module implements
+    the option so the trade-off can be measured (see the
+    [ablate_pairwise] experiment). *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (Config : sig
+  val table : int array array
+  (** [table.(i).(j)] = measured pair boundary between hardware threads
+      [i] and [j] (symmetric; diagonal is each core's self-comparison
+      window, normally 0).  Obtain it from [Boundary.pair_matrix]. *)
+end) : sig
+  val boundary : int -> int -> int
+  (** The uncertainty window between two hardware threads. *)
+
+  val global_boundary : int
+  (** Maximum entry — what the plain Ordo primitive would use. *)
+
+  val get_time : unit -> int
+
+  val cmp_time : c1:int -> int -> c2:int -> int -> int
+  (** [cmp_time ~c1 t1 ~c2 t2] compares a timestamp taken on hardware
+      thread [c1] with one taken on [c2] under their pair boundary. *)
+
+  val new_time : c_from:int -> int -> int
+  (** [new_time ~c_from t]: a timestamp on the calling core certainly
+      greater than [t] taken on [c_from]. *)
+end

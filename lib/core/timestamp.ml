@@ -1,0 +1,60 @@
+module type S = sig
+  val name : string
+  val boundary : int
+  val get : unit -> int
+  val advance : unit -> int
+  val after : int -> int
+  val cmp : int -> int -> int
+end
+
+(* Uncertainty-aware orderings shared by the algorithm retrofits: with a
+   logical clock (boundary 0) equality is exact and counts as ordered; with
+   an Ordo source an uncertain comparison must fail the certainty test. *)
+module Order (T : sig
+  val boundary : int
+  val cmp : int -> int -> int
+end) =
+struct
+  let certainly_after a b =
+    let c = T.cmp a b in
+    c = 1 || (c = 0 && T.boundary = 0)
+
+  let certainly_before a b =
+    let c = T.cmp a b in
+    c = -1 || (c = 0 && T.boundary = 0)
+end
+
+module Logical (R : Ordo_runtime.Runtime_intf.S) () = struct
+  let name = "logical"
+  let boundary = 0
+
+  (* Starts at 1 so that 0 can serve as an "unset" sentinel in clients. *)
+  let clock = R.cell 1
+
+  let get () = R.read clock
+  let advance () = R.fetch_add clock 1 + 1
+
+  let rec after t =
+    let v = advance () in
+    if v > t then v else after t
+
+  let cmp = compare
+end
+
+module Raw (R : Ordo_runtime.Runtime_intf.S) = struct
+  let name = "raw-clock"
+  let boundary = 0
+  let get () = R.get_time ()
+  let advance () = R.get_time ()
+  let after _ = R.get_time ()
+  let cmp = compare
+end
+
+module Ordo_source (O : Ordo.S) = struct
+  let name = "ordo"
+  let boundary = O.boundary
+  let get () = O.get_time ()
+  let advance () = O.new_time (O.get_time ())
+  let after t = O.new_time t
+  let cmp = O.cmp_time
+end

@@ -1,0 +1,62 @@
+(** Timestamp sources for version-based algorithms.
+
+    Every algorithm the paper retrofits (RLU, TL2, OCC, Hekaton) consumes
+    timestamps through this one interface, so each comes in exactly two
+    flavors:
+
+    - {!Logical}: the baseline — one global counter bumped with an atomic
+      fetch-and-add, the scalability bottleneck under study;
+    - {!Ordo}: the paper's primitive — core-local invariant clock reads
+      plus an uncertainty-aware comparison.
+
+    [cmp] returning [0] means the two timestamps cannot be ordered; callers
+    must take their conservative path (defer, retry or abort).  The logical
+    source never returns [0] for distinct values ([boundary = 0]). *)
+
+module type S = sig
+  val name : string
+
+  val boundary : int
+  (** Uncertainty window; [0] for a logical clock. *)
+
+  val get : unit -> int
+  (** Read the clock without advancing it. *)
+
+  val advance : unit -> int
+  (** Produce a commit timestamp: strictly greater (as seen by every
+      thread, outside the uncertainty window) than any timestamp
+      [get] returned before this call on any thread. *)
+
+  val after : int -> int
+  (** [after t]: a timestamp certainly greater than [t] — greater than
+      [t + boundary] for Ordo sources. *)
+
+  val cmp : int -> int -> int
+  (** [-1], [0] (uncertain) or [1]. *)
+end
+
+module Order (T : sig
+  val boundary : int
+  val cmp : int -> int -> int
+end) : sig
+  val certainly_after : int -> int -> bool
+  (** [certainly_after a b]: [a] is ordered after [b] (inclusive for an
+      exact logical clock, strictly outside the uncertainty window for an
+      Ordo source). *)
+
+  val certainly_before : int -> int -> bool
+end
+
+module Logical (R : Ordo_runtime.Runtime_intf.S) () : S
+(** Fresh global software clock (generative: each instantiation owns its
+    own counter cache line). *)
+
+module Raw (R : Ordo_runtime.Runtime_intf.S) : S
+(** The invariant hardware clock used directly, *assuming* clocks are
+    synchronized (the assumption Oplog and the timestamped stack make,
+    which the paper shows to be unsound).  [after] makes no guarantee and
+    [cmp] ignores skew; kept as a baseline and to demonstrate misordering
+    under simulated skew. *)
+
+module Ordo_source (O : Ordo.S) : S
+(** Timestamps from an instantiated Ordo primitive. *)

@@ -1,0 +1,53 @@
+(** Common interface of the concurrency-control schemes (Section 4.2,
+    Figures 13–14).
+
+    The database is a fixed set of integer-keyed rows with integer
+    payloads (payload movement is modeled with [R.work] inside the
+    schemes); a transaction reads and writes rows by key and either
+    commits or aborts.  Six schemes implement this signature: OCC and
+    Hekaton in their original logical-clock forms and their Ordo
+    retrofits, plus Silo and TicToc, the state-of-the-art baselines that
+    avoid a global timestamp by construction. *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type tx
+
+  exception Abort
+  (** Raised by [read]/[write] on a conflict detected mid-transaction.
+      The transaction is already cleaned up when it escapes; the caller
+      just retries. *)
+
+  val create : threads:int -> rows:int -> unit -> t
+  (** Rows are pre-populated with value 0. *)
+
+  val begin_tx : t -> tx
+  val read : tx -> int -> int
+  val write : tx -> int -> int -> unit
+
+  val commit : tx -> bool
+  (** [false] = validation failed (transaction cleaned up). *)
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end
+
+(** Retry loop shared by every workload driver: re-runs the body until
+    commit, with exponential backoff so abort storms on hot rows damp out
+    instead of livelocking. *)
+module Execute (R : Ordo_runtime.Runtime_intf.S) (C : S) = struct
+  let run db body =
+    let rec attempt backoff =
+      let tx = C.begin_tx db in
+      let retry () =
+        R.work backoff;
+        attempt (min (backoff * 2) 8_000)
+      in
+      match body tx with
+      | result -> if C.commit tx then result else retry ()
+      | exception C.Abort -> retry ()
+    in
+    attempt 150
+end

@@ -1,0 +1,146 @@
+(** Silo-style epoch OCC (Tu et al., SOSP'13) — the scalable baseline that
+    avoids a global timestamp counter: transaction ids are derived locally
+    from the ids observed in the footprint plus a coarse epoch that a
+    single thread advances periodically, so the only shared clock state is
+    a read-mostly epoch word. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
+  let name = "silo"
+
+  exception Abort
+
+  (* How many commits by thread 0 between epoch bumps (stands in for the
+     40 ms epoch ticker of the original). *)
+  let epoch_period = 512
+  let epoch_shift = 40
+
+  type row = { tid_word : int R.cell; data : int R.cell }
+
+  type ctx = {
+    tid : int;
+    mutable rset : (row * int) list;
+    wset : (int, int) Hashtbl.t;
+    mutable last_tid : int;
+    mutable commits : int;
+    mutable aborts : int;
+    rows : row array;
+    epoch : int R.cell;
+  }
+
+  type t = { rows : row array; ctxs : ctx array; epoch : int R.cell }
+  type tx = ctx
+
+  let create ~threads ~rows () =
+    if threads < 1 || rows < 1 then invalid_arg "Silo.create";
+    let epoch = R.cell 1 in
+    let rows = Array.init rows (fun _ -> { tid_word = R.cell 0; data = R.cell 0 }) in
+    let ctx tid =
+      {
+        tid;
+        rset = [];
+        wset = Hashtbl.create 16;
+        last_tid = 0;
+        commits = 0;
+        aborts = 0;
+        rows;
+        epoch;
+      }
+    in
+    { rows; ctxs = Array.init threads ctx; epoch }
+
+  let begin_tx t =
+    let tx = t.ctxs.(R.tid ()) in
+    tx.rset <- [];
+    Hashtbl.reset tx.wset;
+    tx
+
+  let fail (tx : ctx) =
+    tx.rset <- [];
+    Hashtbl.reset tx.wset;
+    tx.aborts <- tx.aborts + 1;
+    raise Abort
+
+  let max_lock_waits = 12
+
+  let read (tx : ctx) key =
+    match Hashtbl.find_opt tx.wset key with
+    | Some v -> v
+    | None ->
+      let row = tx.rows.(key) in
+      let rec snapshot tries =
+        let v1 = R.read row.tid_word in
+        if v1 < 0 then
+          if tries > 0 then begin
+            R.pause ();
+            snapshot (tries - 1)
+          end
+          else fail tx
+        else begin
+          let value = R.read row.data in
+          let v2 = R.read row.tid_word in
+          if v1 <> v2 then if tries > 0 then snapshot (tries - 1) else fail tx
+          else (v1, value)
+        end
+      in
+      let v1, value = snapshot max_lock_waits in
+      tx.rset <- (row, v1) :: tx.rset;
+      R.work Occ.tuple_work_ns;
+      value
+
+  let write (tx : ctx) key v = Hashtbl.replace tx.wset key v
+  let lock_word tid = -(tid + 1)
+
+  let commit (tx : ctx) =
+    let locked = ref [] in
+    let release () = List.iter (fun (row, prev) -> R.write row.tid_word prev) !locked in
+    let try_lock key _ =
+      let row = tx.rows.(key) in
+      let v = R.read row.tid_word in
+      if v < 0 || not (R.cas row.tid_word v (lock_word tx.tid)) then raise Exit;
+      locked := (row, v) :: !locked
+    in
+    match Hashtbl.iter try_lock tx.wset with
+    | exception Exit ->
+      release ();
+      tx.aborts <- tx.aborts + 1;
+      false
+    | () ->
+      (* Serialization point: a plain read of the epoch word. *)
+      let epoch = R.read tx.epoch in
+      let my_lock = lock_word tx.tid in
+      let valid (row, seen) =
+        let cur = R.read row.tid_word in
+        if cur = my_lock then List.exists (fun (r, prev) -> r == row && prev = seen) !locked
+        else cur = seen
+      in
+      if not (List.for_all valid tx.rset) then begin
+        release ();
+        tx.aborts <- tx.aborts + 1;
+        false
+      end
+      else begin
+        (* Local TID generation: no shared counter involved. *)
+        let base = epoch lsl epoch_shift in
+        let floor_tid =
+          List.fold_left (fun acc (_, seen) -> max acc seen) tx.last_tid tx.rset
+        in
+        let floor_tid = List.fold_left (fun acc (_, prev) -> max acc prev) floor_tid !locked in
+        let commit_tid = max (floor_tid + 1) base in
+        tx.last_tid <- commit_tid;
+        Hashtbl.iter
+          (fun key v ->
+            let row = tx.rows.(key) in
+            R.work Occ.tuple_work_ns;
+            R.write row.data v;
+            R.write row.tid_word commit_tid)
+          tx.wset;
+        tx.commits <- tx.commits + 1;
+        if tx.tid = 0 && tx.commits mod epoch_period = 0 then
+          R.write tx.epoch (R.read tx.epoch + 1);
+        true
+      end
+
+  let sum t f = Array.fold_left (fun acc c -> acc + f c) 0 t.ctxs
+  let stats_commits t = sum t (fun c -> c.commits)
+  let stats_aborts t = sum t (fun c -> c.aborts)
+end

@@ -1,0 +1,57 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Lock = Ordo_runtime.Mcs.Make (R)
+
+  type record = { lsn : int; core : int; payload : int }
+
+  type t = {
+    buffers : record list R.cell array;  (* newest first, single producer *)
+    last_lsn : int array;  (* thread-private *)
+    lock : Lock.t;  (* checkpoint exclusion *)
+    mutable log : record list;  (* durable, newest first *)
+    mutable count : int;
+  }
+
+  let create ~threads () =
+    if threads < 1 then invalid_arg "Wal.create: threads must be >= 1";
+    {
+      buffers = Array.init threads (fun _ -> R.cell []);
+      last_lsn = Array.make threads 0;
+      lock = Lock.create ();
+      log = [];
+      count = 0;
+    }
+
+  let append t payload =
+    let core = R.tid () in
+    (* A logical source is the classic contended LSN counter (one RMW per
+       record); an uncertain source stamps with a local clock read —
+       records within the boundary are concurrent, so recovery order
+       between them is unconstrained, exactly as for OpLog merges. *)
+    let lsn =
+      if T.boundary = 0 then T.after t.last_lsn.(core)
+      else max (T.get ()) (t.last_lsn.(core) + 1)
+    in
+    t.last_lsn.(core) <- lsn;
+    let buffer = t.buffers.(core) in
+    R.write buffer ({ lsn; core; payload } :: R.read buffer);
+    lsn
+
+  let record_order a b =
+    let c = compare a.lsn b.lsn in
+    if c <> 0 then c else compare a.core b.core
+
+  let checkpoint t =
+    Lock.with_lock t.lock @@ fun () ->
+    let drained = Array.map (fun buffer -> R.exchange buffer []) t.buffers in
+    let batch =
+      Array.fold_left (fun acc l -> List.rev_append l acc) [] drained
+      |> List.sort record_order
+    in
+    (* Newest first in [log]; batch is oldest first after the sort. *)
+    t.log <- List.rev_append batch t.log;
+    t.count <- t.count + List.length batch;
+    List.length batch
+
+  let durable t = List.rev t.log
+  let durable_count t = t.count
+end

@@ -1,0 +1,34 @@
+(** Write-ahead log with decentralized LSN allocation — one of the
+    opportunities the paper calls out in Section 7 (Aether/F2FS-style
+    scalable logging).
+
+    A classic WAL serializes every append on a global LSN counter.  Here
+    each thread appends to its own buffer and stamps records with the
+    timestamp source: a logical source reproduces the contended counter,
+    an Ordo source makes allocation core-local.  [checkpoint] merges the
+    buffers into the durable log in [(lsn, core)] order; recovery order is
+    correct for any two records further apart than the source's
+    uncertainty boundary, and records closer than that are concurrent (no
+    transaction-ordering constraint can span them, by the same argument
+    as the paper's OpLog retrofit). *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  type t
+
+  type record = { lsn : int; core : int; payload : int }
+
+  val create : threads:int -> unit -> t
+
+  val append : t -> int -> int
+  (** Append a payload on the calling thread; returns its LSN, strictly
+      greater than the thread's previous LSN. *)
+
+  val checkpoint : t -> int
+  (** Merge all thread buffers into the durable log; returns the number
+      of records made durable. *)
+
+  val durable : t -> record list
+  (** The durable log, oldest first. *)
+
+  val durable_count : t -> int
+end

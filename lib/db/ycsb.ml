@@ -1,0 +1,55 @@
+(** YCSB-style key-value transactions over any CC scheme (Figure 13).
+
+    The paper's Figure 13 configuration: two read queries per transaction,
+    uniform key distribution, read-only — isolating timestamp-allocation
+    cost from data contention.  The mixed mode adds update transactions
+    and a Zipfian skew for contention studies. *)
+
+module Rng = Ordo_util.Rng
+module Zipf = Ordo_util.Zipf
+
+type config = {
+  rows : int;
+  ops_per_tx : int;
+  update_pct : int;  (** Percent of transactions that write. *)
+  theta : float;  (** Zipf skew; 0 = uniform. *)
+}
+
+let read_only = { rows = 16_384; ops_per_tx = 2; update_pct = 0; theta = 0.0 }
+let update_heavy = { rows = 16_384; ops_per_tx = 4; update_pct = 50; theta = 0.6 }
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (C : Cc_intf.S) = struct
+  module Exec = Cc_intf.Execute (R) (C)
+
+  type t = { config : config; db : C.t; zipf : Zipf.t option }
+
+  let create ?(config = read_only) ~threads () =
+    {
+      config;
+      db = C.create ~threads ~rows:config.rows ();
+      zipf =
+        (if config.theta > 0.0 then Some (Zipf.create ~n:config.rows ~theta:config.theta)
+         else None);
+    }
+
+  let sample t rng =
+    match t.zipf with Some z -> Zipf.sample z rng | None -> Rng.int rng t.config.rows
+
+  (* One transaction; the rng advances across internal retries. *)
+  let run_tx t rng =
+    let cfg = t.config in
+    let updating = cfg.update_pct > 0 && Rng.int rng 100 < cfg.update_pct in
+    ignore
+      (Exec.run t.db (fun tx ->
+           let acc = ref 0 in
+           for _ = 1 to cfg.ops_per_tx do
+             let key = sample t rng in
+             acc := !acc + C.read tx key;
+             if updating then C.write tx key (!acc + 1)
+           done;
+           !acc)
+        : int)
+
+  let stats_commits t = C.stats_commits t.db
+  let stats_aborts t = C.stats_aborts t.db
+end

@@ -1,0 +1,61 @@
+(** A closed-loop model of the Exim mail-server experiment (Figure 10).
+
+    Each message, as in Mosbench's Exim: the listener forks processes that
+    map and later unmap a handful of shared pages (reverse-map updates),
+    plus a fixed amount of per-message file-system and page-zeroing work
+    that does not touch the rmap.  The paper observes that the stock
+    kernel's rmap lock saturates the machine around 60 cores while the
+    OpLog versions keep scaling until the VFS work dominates; the model
+    reproduces exactly those two regimes:
+
+    - [fs_hold_ns]: a short shared critical section (directory/journal
+      updates in the shared spool), the eventual ceiling for every
+      variant;
+    - fork/exit page walks: private compute, plus one rmap update per
+      page, routed through the variant under test. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (M : Rmap.S) = struct
+  module Lock = Ordo_runtime.Mcs.Make (R)
+
+  type config = {
+    pages_per_message : int;  (** Mappings added by the forked children. *)
+    vfs_work_ns : int;  (** Private per-message work (fs ops, zeroing). *)
+    fs_hold_ns : int;  (** Time in the shared spool critical section. *)
+    reclaim_every : int;  (** One rmap lookup per this many messages. *)
+  }
+
+  let default_config =
+    { pages_per_message = 6; vfs_work_ns = 55_000; fs_hold_ns = 220; reclaim_every = 128 }
+
+  type t = {
+    config : config;
+    rmap : M.t;
+    spool : Lock.t;
+    pages : int;  (** Size of the modeled physical-page pool. *)
+  }
+
+  let create ?(config = default_config) ~threads ~pages () =
+    { config; rmap = M.create ~threads ~pages (); spool = Lock.create (); pages }
+
+  (* Process one message on the calling thread.  [seq] is the caller's
+     message counter (drives the periodic reclaim scan). *)
+  let deliver t rng seq =
+    let cfg = t.config in
+    let tid = R.tid () in
+    (* Fork: children map [pages_per_message] shared pages. *)
+    let pte = (tid * 1_000_000) + seq in
+    let pairs =
+      Array.init cfg.pages_per_message (fun _ -> (Ordo_util.Rng.int rng t.pages, pte))
+    in
+    M.add_all t.rmap pairs;
+    (* Message body: spool critical section + private VFS work. *)
+    Lock.with_lock t.spool (fun () -> R.work cfg.fs_hold_ns);
+    R.work cfg.vfs_work_ns;
+    (* Exit: children unmap. *)
+    M.remove_all t.rmap pairs;
+    (* Occasional page-reclaim scan exercises the read side. *)
+    if cfg.reclaim_every > 0 && seq mod cfg.reclaim_every = 0 then
+      ignore (M.lookup t.rmap ~page:(Ordo_util.Rng.int rng t.pages) : int list)
+
+  let rmap t = t.rmap
+end

@@ -1,0 +1,44 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Lock = Ordo_runtime.Mcs.Make (R)
+
+  type 'a entry = { ts : int; core : int; op : 'a }
+
+  type 'a t = {
+    logs : 'a entry list R.cell array;  (* newest first; one line per core *)
+    last_ts : int array;  (* per-thread last stamp, thread-private *)
+    lock : Lock.t;
+  }
+
+  let create ~threads () =
+    if threads < 1 then invalid_arg "Oplog.create: threads must be >= 1";
+    {
+      logs = Array.init threads (fun _ -> R.cell []);
+      last_ts = Array.make threads 0;
+      lock = Lock.create ();
+    }
+
+  let append t op =
+    let core = R.tid () in
+    let ts = T.after t.last_ts.(core) in
+    t.last_ts.(core) <- ts;
+    let log = t.logs.(core) in
+    R.write log ({ ts; core; op } :: R.read log)
+
+  (* Ascending (ts, core): ties inside the uncertainty window resolve by
+     core id, as in the original design for equal timestamps. *)
+  let entry_order a b =
+    let c = compare a.ts b.ts in
+    if c <> 0 then c else compare a.core b.core
+
+  let synchronize t ~apply =
+    Lock.with_lock t.lock @@ fun () ->
+    let drained = Array.map (fun log -> R.exchange log []) t.logs in
+    let merged =
+      Array.fold_left (fun acc l -> List.rev_append l acc) [] drained
+      |> List.sort entry_order
+    in
+    List.iter apply merged;
+    List.length merged
+
+  let pending t = Array.fold_left (fun acc log -> acc + List.length (R.read log)) 0 t.logs
+end

@@ -1,0 +1,36 @@
+(** OpLog (Boyd-Wickizer et al.) — physical-timestamp batching for
+    update-heavy data structures, the paper's Section 4.4 case study.
+
+    Updates append an [(op, timestamp)] record to a per-core log, touching
+    no shared state; readers acquire the object lock, merge all per-core
+    logs in timestamp order, and apply the operations to the central
+    structure.  Correctness of the merge order rests entirely on the
+    timestamps, so the choice of source matters:
+
+    - [Timestamp.Raw]: the original OpLog assumption — hardware clocks are
+      synchronized.  On a machine with skewed clocks the merge can apply
+      causally ordered operations backwards (demonstrably, in the
+      simulator's ARM preset).
+    - an Ordo source: [after] guarantees each appended timestamp is
+      certainly newer than the log's previous one, and concurrent
+      operations landing inside one ORDO_BOUNDARY are tie-broken by core
+      id, the same policy the original design used for equal stamps. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  type 'a t
+
+  type 'a entry = { ts : int; core : int; op : 'a }
+
+  val create : threads:int -> unit -> 'a t
+
+  val append : 'a t -> 'a -> unit
+  (** Log an operation on the calling thread's core, stamped with a
+      timestamp newer than the log's previous entry. *)
+
+  val synchronize : 'a t -> apply:('a entry -> unit) -> int
+  (** Drain every per-core log under the object lock and apply the merged
+      operations in [(ts, core)] order; returns how many were applied. *)
+
+  val pending : 'a t -> int
+  (** Total operations currently logged (approximate, unlocked). *)
+end

@@ -1,0 +1,104 @@
+(** The reverse map (physical page → reverse PTE mappings), the kernel
+    data structure the paper accelerates with OpLog (Section 6.3).
+
+    Three implementations share one signature:
+    - {!Vanilla}: updates take the central rmap lock — one hold per
+      fork/exit burst, like the stock kernel walking a process's pages
+      under the lock;
+    - {!Logged}: OpLog per-core logs, merged on lookup.  Instantiate its
+      timestamp source with [Timestamp.Raw] for the paper's [Oplog]
+      configuration (raw unsynchronized clocks) or an Ordo source for
+      [Oplog_ORDO]. *)
+
+(* Cost of applying one mapping update to the central structure, charged
+   as private compute in the simulator. *)
+let apply_work_ns = 40
+
+type op = Add of { page : int; pte : int } | Remove of { page : int; pte : int }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : threads:int -> pages:int -> unit -> t
+
+  val add : t -> page:int -> pte:int -> unit
+  val remove : t -> page:int -> pte:int -> unit
+
+  val add_all : t -> (int * int) array -> unit
+  (** Map a burst of [(page, pte)] pairs (one fork's worth) — a single
+      critical-section hold in the vanilla variant. *)
+
+  val remove_all : t -> (int * int) array -> unit
+
+  val lookup : t -> page:int -> int list
+  (** All PTEs currently mapping the page (forces a merge for the logged
+      variants). *)
+
+  val total_mappings : t -> int
+  (** Quiescent count of mappings, for validation. *)
+end
+
+let apply_to pages op =
+  match op with
+  | Add { page; pte } -> pages.(page) <- pte :: pages.(page)
+  | Remove { page; pte } -> pages.(page) <- List.filter (fun p -> p <> pte) pages.(page)
+
+module Vanilla (R : Ordo_runtime.Runtime_intf.S) : S = struct
+  module Lock = Ordo_runtime.Mcs.Make (R)
+
+  type t = { lock : Lock.t; pages : int list array }
+
+  let name = "vanilla"
+
+  let create ~threads:_ ~pages () =
+    if pages < 1 then invalid_arg "Rmap.create: pages must be >= 1";
+    { lock = Lock.create (); pages = Array.make pages [] }
+
+  let locked t f = Lock.with_lock t.lock f
+
+  let apply t op =
+    R.work apply_work_ns;
+    apply_to t.pages op
+
+  let add t ~page ~pte = locked t (fun () -> apply t (Add { page; pte }))
+  let remove t ~page ~pte = locked t (fun () -> apply t (Remove { page; pte }))
+
+  let add_all t pairs =
+    locked t (fun () -> Array.iter (fun (page, pte) -> apply t (Add { page; pte })) pairs)
+
+  let remove_all t pairs =
+    locked t (fun () -> Array.iter (fun (page, pte) -> apply t (Remove { page; pte })) pairs)
+
+  let lookup t ~page = locked t (fun () -> t.pages.(page))
+  let total_mappings t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.pages
+end
+
+module Logged (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : S = struct
+  module Log = Oplog.Make (R) (T)
+
+  type t = { log : op Log.t; pages : int list array }
+
+  let name = "oplog-" ^ T.name
+
+  let create ~threads ~pages () =
+    if pages < 1 then invalid_arg "Rmap.create: pages must be >= 1";
+    { log = Log.create ~threads (); pages = Array.make pages [] }
+
+  let add t ~page ~pte = Log.append t.log (Add { page; pte })
+  let remove t ~page ~pte = Log.append t.log (Remove { page; pte })
+  let add_all t pairs = Array.iter (fun (page, pte) -> add t ~page ~pte) pairs
+  let remove_all t pairs = Array.iter (fun (page, pte) -> remove t ~page ~pte) pairs
+
+  let apply t (e : op Log.entry) =
+    R.work apply_work_ns;
+    apply_to t.pages e.Log.op
+
+  let lookup t ~page =
+    ignore (Log.synchronize t.log ~apply:(apply t) : int);
+    t.pages.(page)
+
+  let total_mappings t =
+    ignore (Log.synchronize t.log ~apply:(apply t) : int);
+    Array.fold_left (fun acc l -> acc + List.length l) 0 t.pages
+end

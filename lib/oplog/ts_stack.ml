@@ -1,0 +1,69 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  type 'a node = { value : 'a; ts : int; core : int; taken : bool R.cell }
+
+  type 'a t = {
+    pools : 'a node list R.cell array;  (* newest first; single producer each *)
+    last_ts : int array;  (* thread-private last stamp *)
+  }
+
+  let create ~threads () =
+    if threads < 1 then invalid_arg "Ts_stack.create: threads must be >= 1";
+    { pools = Array.init threads (fun _ -> R.cell []); last_ts = Array.make threads 0 }
+
+  let push t value =
+    let core = R.tid () in
+    (* Interval-style stamping (as in the original timestamped stack):
+       elements closer than the uncertainty boundary are *concurrent*, so
+       a push needs no [new_time] wait — a plain clock read suffices, kept
+       strictly increasing within the pool.  An exact logical source
+       still allocates (its boundary is 0, so ordering must be total). *)
+    let ts =
+      if T.boundary = 0 then T.after t.last_ts.(core)
+      else max (T.get ()) (t.last_ts.(core) + 1)
+    in
+    t.last_ts.(core) <- ts;
+    let pool = t.pools.(core) in
+    let node = { value; ts; core; taken = R.cell false } in
+    (* Single producer: prune our own taken prefix while we are here, so
+       pools do not grow without bound. *)
+    let rec live = function
+      | n :: rest when R.read n.taken -> live rest
+      | l -> l
+    in
+    R.write pool (node :: live (R.read pool))
+
+  (* Youngest live node of one pool, skipping taken ones. *)
+  let rec head_live nodes =
+    match nodes with
+    | [] -> None
+    | n :: rest -> if R.read n.taken then head_live rest else Some n
+
+  let newer a b = a.ts > b.ts || (a.ts = b.ts && a.core > b.core)
+
+  let rec try_pop t =
+    let best = ref None in
+    Array.iter
+      (fun pool ->
+        match head_live (R.read pool) with
+        | None -> ()
+        | Some n -> (
+          match !best with
+          | Some b when newer b n -> ()
+          | _ -> best := Some n))
+      t.pools;
+    match !best with
+    | None -> None
+    | Some n ->
+      (* Claim it; on a race, somebody else took it — rescan. *)
+      if R.cas n.taken false true then Some n.value
+      else begin
+        R.pause ();
+        try_pop t
+      end
+
+  let size t =
+    Array.fold_left
+      (fun acc pool ->
+        acc + List.length (List.filter (fun n -> not (R.read n.taken)) (R.read pool)))
+      0 t.pools
+end

@@ -1,0 +1,29 @@
+(** Timestamped stack (Dodds et al., POPL'15) — the other physical-
+    timestamping algorithm the paper discusses (Sections 2 and 7).
+
+    Each thread pushes into its own single-producer pool, stamping
+    elements with the clock; pop scans the youngest element of every pool
+    and takes the one with the globally newest timestamp.  Correctness of
+    the LIFO order rests on the timestamps: with raw unsynchronized
+    clocks a push that happened-after another can carry an *older* stamp
+    and be popped under it; with an Ordo source, elements more than one
+    ORDO_BOUNDARY apart always pop in true order, and closer pairs are
+    ties broken by core id — the treatment the paper prescribes.  (The
+    paper also notes the timestamped stack cannot tolerate *stuttering*
+    clocks — which invariant clocks never do.) *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  type 'a t
+
+  val create : threads:int -> unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Push on the calling thread's pool; O(1), no shared-line contention. *)
+
+  val try_pop : 'a t -> 'a option
+  (** Remove and return the youngest element across all pools, or [None]
+      when every pool is empty. *)
+
+  val size : 'a t -> int
+  (** Quiescent count of unpopped elements. *)
+end

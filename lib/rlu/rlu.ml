@@ -1,0 +1,208 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  let infinity_ts = max_int
+
+  (* The whole object header lives in one cell (one cache line): either
+     free with its committed value, or held by a writer that keeps both
+     the committed value and its working copy visible for stealing. *)
+  type 'a state = Free of 'a | Held of { owner : int; data : 'a; copy : 'a }
+  type 'a obj = 'a state R.cell
+
+  (* One staged update.  [undo] restores the pre-section state (abort).
+     Commit is two-phase, as in the reference RLU: [writeback] installs
+     the working copy as the committed value while the lock is still held
+     (no concurrent writer can slip between dependent updates), then
+     [release] drops the lock.  Both skip objects this thread no longer
+     holds, so duplicate entries from re-updates stay harmless. *)
+  type entry = { undo : unit -> unit; writeback : unit -> unit; release : unit -> unit }
+
+  type ctx = {
+    run_cnt : int R.cell;  (* odd while inside a section *)
+    local_clock : int R.cell;
+    write_clock : int R.cell;
+    mutable is_writer : bool;
+    mutable section : entry list;  (* newest first *)
+    mutable deferred : entry list;
+    mutable deferred_commits : int;
+    sync_scratch : int array;
+    mutable commits : int;
+    mutable aborts : int;
+    mutable syncs : int;
+  }
+
+  type t = { ctxs : ctx array; defer : int; margin : int }
+
+  let create ?(defer = 0) ?commit_margin ~threads () =
+    if threads < 1 then invalid_arg "Rlu.create: threads must be >= 1";
+    let margin = match commit_margin with Some m -> m | None -> T.boundary in
+    let ctx _ =
+      {
+        run_cnt = R.cell 0;
+        local_clock = R.cell 0;
+        write_clock = R.cell infinity_ts;
+        is_writer = false;
+        section = [];
+        deferred = [];
+        deferred_commits = 0;
+        sync_scratch = Array.make threads 0;
+        commits = 0;
+        aborts = 0;
+        syncs = 0;
+      }
+    in
+    { ctxs = Array.init threads ctx; defer; margin }
+
+  let obj v = R.cell (Free v)
+  let my t = t.ctxs.(R.tid ())
+
+  module Order = Ordo_core.Timestamp.Order (T)
+
+  let certainly_after = Order.certainly_after
+
+  let reader_lock t =
+    let ctx = my t in
+    R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
+    R.fence ();
+    R.write ctx.local_clock (T.get ())
+
+  let rec deref t obj =
+    let ctx = my t in
+    match R.read obj with
+    | Free v -> v
+    | Held { owner; data; copy } as seen ->
+      if owner = R.tid () then copy
+      else begin
+        let wc = R.read t.ctxs.(owner).write_clock in
+        (* Pin the (snapshot, write-clock) pairing: every state transition
+           allocates a fresh record, so if the object still carries [seen]
+           the owner neither committed nor aborted while we fetched its
+           clock.  Otherwise retry on the new state — without this, a
+           reader could return a stale committed value or even an aborted
+           working copy. *)
+        if R.read obj != seen then deref t obj
+        else if
+          (* Steal the committing writer's copy only when our section
+             started certainly after its write clock (paper Fig. 7). *)
+          certainly_after (R.read ctx.local_clock) wc
+        then copy
+        else data
+      end
+
+  (* Install the copy as the committed value, keeping the lock: readers
+     that do not steal now see the new value, and no writer can acquire
+     the object until every write of this commit is backed. *)
+  let writeback_entry obj me () =
+    match R.read obj with
+    | Held { owner; copy; _ } when owner = me -> R.write obj (Held { owner = me; data = copy; copy })
+    | Held _ | Free _ -> ()
+
+  let release_entry obj me () =
+    match R.read obj with
+    | Held { owner; copy; _ } when owner = me -> R.write obj (Free copy)
+    | Held _ | Free _ -> ()
+
+  let try_update t obj f =
+    let ctx = my t in
+    let me = R.tid () in
+    match R.read obj with
+    | Held { owner; _ } when owner <> me -> false
+    | Held { data; copy; _ } as prev ->
+      (* Already ours (same section, or an earlier deferred one). *)
+      R.write obj (Held { owner = me; data; copy = f copy });
+      ctx.is_writer <- true;
+      ctx.section <- { undo = (fun () -> R.write obj prev); writeback = writeback_entry obj me; release = release_entry obj me } :: ctx.section;
+      true
+    | Free v as prev ->
+      if R.cas obj prev (Held { owner = me; data = v; copy = f v }) then begin
+        ctx.is_writer <- true;
+        ctx.section <- { undo = (fun () -> R.write obj prev); writeback = writeback_entry obj me; release = release_entry obj me } :: ctx.section;
+        true
+      end
+      else false
+
+  (* RCU-style drain (paper Fig. 7, lines 37–50): wait until every thread
+     is out of its section, has moved to a new one, or holds a section
+     clock certainly newer than [wc]. *)
+  let synchronize t ctx wc =
+    let n = Array.length t.ctxs in
+    let me = R.tid () in
+    for j = 0 to n - 1 do
+      if j <> me then ctx.sync_scratch.(j) <- R.read t.ctxs.(j).run_cnt
+    done;
+    for j = 0 to n - 1 do
+      if j <> me then begin
+        let other = t.ctxs.(j) in
+        let observed = ctx.sync_scratch.(j) in
+        if observed land 1 <> 0 then begin
+          let waiting = ref true in
+          while !waiting do
+            if R.read other.run_cnt <> observed then waiting := false
+            else if certainly_after (R.read other.local_clock) wc then waiting := false
+            else R.pause ()
+          done
+        end
+      end
+    done;
+    ctx.syncs <- ctx.syncs + 1
+
+  (* Two-phase: back every copy while all locks are held, then release. *)
+  let commit_entries entries =
+    let ordered = List.rev entries in
+    List.iter (fun e -> e.writeback ()) ordered;
+    List.iter (fun e -> e.release ()) ordered
+
+  let flush_deferred t ctx =
+    if ctx.deferred <> [] then begin
+      let wc = T.after (T.get () + t.margin) in
+      R.write ctx.write_clock wc;
+      synchronize t ctx wc;
+      commit_entries ctx.deferred;
+      R.write ctx.write_clock infinity_ts;
+      ctx.deferred <- [];
+      ctx.deferred_commits <- 0
+    end
+
+  let commit t ctx =
+    if t.defer > 0 then begin
+      (* Deferral: keep the locks, batch the quiescence. *)
+      ctx.deferred <- ctx.section @ ctx.deferred;
+      ctx.section <- [];
+      ctx.deferred_commits <- ctx.deferred_commits + 1;
+      if ctx.deferred_commits >= t.defer then flush_deferred t ctx
+    end
+    else begin
+      (* The extra boundary keeps a stealing reader on a negatively skewed
+         core from seeing the pre-commit snapshot (Section 4.1). *)
+      let wc = T.after (R.read ctx.local_clock + t.margin) in
+      R.write ctx.write_clock wc;
+      synchronize t ctx wc;
+      commit_entries ctx.section;
+      R.write ctx.write_clock infinity_ts;
+      ctx.section <- []
+    end;
+    ctx.commits <- ctx.commits + 1;
+    ctx.is_writer <- false
+
+  let reader_unlock t =
+    let ctx = my t in
+    R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
+    if ctx.is_writer then commit t ctx
+
+  let abort t =
+    let ctx = my t in
+    R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
+    List.iter (fun e -> e.undo ()) ctx.section;
+    ctx.section <- [];
+    ctx.is_writer <- false;
+    ctx.aborts <- ctx.aborts + 1;
+    (* Unjam conflicting threads waiting on our deferred locks. *)
+    if t.defer > 0 then flush_deferred t ctx
+
+  let flush t =
+    let ctx = my t in
+    if t.defer > 0 then flush_deferred t ctx
+
+  let sum t f = Array.fold_left (fun acc ctx -> acc + f ctx) 0 t.ctxs
+  let stats_commits t = sum t (fun c -> c.commits)
+  let stats_aborts t = sum t (fun c -> c.aborts)
+  let stats_syncs t = sum t (fun c -> c.syncs)
+end

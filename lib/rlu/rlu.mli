@@ -1,0 +1,75 @@
+(** Read-Log-Update (Matveev et al., SOSP'15) over an abstract timestamp
+    source — the paper's Section 4.1 case study.
+
+    RLU gives readers unsynchronized, consistent traversals and writers
+    per-thread object logs.  A writer locks an object, works on a private
+    copy, and at commit time splits the memory snapshot by advancing a
+    clock; readers that began after the split steal the writer's copy,
+    older readers keep the original until the writer's quiescence wait
+    lets it write back.
+
+    Instantiating [Make] with [Ordo_core.Timestamp.Logical] yields the
+    original algorithm, whose global clock is the scalability bottleneck
+    of Figures 1/11/12; instantiating it with an Ordo source removes the
+    contended fetch-and-add: commits take their write clock with
+    [new_time (local_clock + boundary)] (the extra boundary protects a
+    stealing reader on a core with negative skew), and all clock
+    comparisons go through the uncertainty-aware [cmp]. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  type t
+  (** One RLU instance: the set of thread contexts plus the clock. *)
+
+  type 'a obj
+  (** An RLU-protected object holding values of type ['a].  Values are
+      treated as immutable snapshots: an update replaces the value. *)
+
+  val create : ?defer:int -> ?commit_margin:int -> threads:int -> unit -> t
+  (** [create ~threads ()] sizes the instance for thread ids
+      [0 .. threads-1].  With [~defer:k], commits do not synchronize:
+      objects stay locked and write-backs accumulate until [k] sections
+      have committed (or a conflict forces a flush) — the deferral-based
+      variant of Figure 12.  [commit_margin] overrides the extra
+      ORDO_BOUNDARY added to the commit clock (Section 4.1's correctness
+      margin; defaults to the timestamp source's boundary) — exposed for
+      the ablation study only. *)
+
+  val obj : 'a -> 'a obj
+  (** Wrap an initial value. *)
+
+  val reader_lock : t -> unit
+  (** Enter an RLU section on the calling thread. *)
+
+  val reader_unlock : t -> unit
+  (** Leave the section; if the thread updated objects, this commits:
+      advance the write clock, wait for older readers, write back, and
+      release locks (deferred in [defer] mode). *)
+
+  val deref : t -> 'a obj -> 'a
+  (** Read an object inside a section, stealing a committing writer's
+      copy when this section's clock is certainly newer. *)
+
+  val try_update : t -> 'a obj -> ('a -> 'a) -> bool
+  (** Lock the object (if free) and stage [f current] as its new value.
+      [false] on a write-write conflict: the caller must [abort] and
+      retry its section.  Re-updating an object this thread already holds
+      composes. *)
+
+  val abort : t -> unit
+  (** Abandon the current section: undo staged updates, release locks
+      taken in this section, leave the section.  In defer mode this also
+      flushes previously deferred commits so conflicting threads can make
+      progress. *)
+
+  val flush : t -> unit
+  (** Force deferred commits out (no-op when nothing is deferred).  Must
+      be called outside a section.  In defer mode every thread MUST flush
+      before it stops running sections: deferred commits keep their
+      objects locked, and a thread that exits still holding them blocks
+      conflicting writers forever. *)
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+  val stats_syncs : t -> int
+  (** Quiescence waits executed (one per undeferred commit / flush). *)
+end

@@ -1,0 +1,30 @@
+(** The paper's RLU hash-table benchmark structure: an array of buckets,
+    each an RLU-protected sorted linked list; a key hashes to one bucket.
+    All buckets share one RLU instance (thread contexts and clock). *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module List_set = Rlu_list.Make (R) (T)
+  module Rlu = List_set.Rlu
+
+  type t = { rlu : Rlu.t; buckets : List_set.set array }
+
+  let create ?defer ?node_work ~threads ~buckets () =
+    if buckets < 1 then invalid_arg "Rlu_hash.create: buckets must be >= 1";
+    {
+      rlu = Rlu.create ?defer ~threads ();
+      buckets = Array.init buckets (fun _ -> List_set.create ?node_work ());
+    }
+
+  let bucket t key = t.buckets.(abs (key * 2654435761) mod Array.length t.buckets)
+  let contains t key = List_set.contains t.rlu (bucket t key) key
+  let add t key = List_set.add t.rlu (bucket t key) key
+  let remove t key = List_set.remove t.rlu (bucket t key) key
+
+  let size t =
+    Array.fold_left (fun acc set -> acc + List_set.size t.rlu set) 0 t.buckets
+
+  let flush t = Rlu.flush t.rlu
+  let stats_aborts t = Rlu.stats_aborts t.rlu
+  let stats_commits t = Rlu.stats_commits t.rlu
+  let stats_syncs t = Rlu.stats_syncs t.rlu
+end

@@ -1,0 +1,29 @@
+(** The paper's RLU hash-table benchmark structure: an array of buckets,
+    each an RLU-protected sorted linked list, all sharing one RLU instance
+    (thread contexts and clock). *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  module List_set : module type of Rlu_list.Make (R) (T)
+  module Rlu : module type of List_set.Rlu
+
+  type t
+
+  val create :
+    ?defer:int -> ?node_work:int -> threads:int -> buckets:int -> unit -> t
+  (** [defer] and [node_work] are forwarded to {!Rlu.create} and
+      {!List_set.create} respectively. *)
+
+  val contains : t -> int -> bool
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+
+  val size : t -> int
+  (** Quiescent count across all buckets. *)
+
+  val flush : t -> unit
+  (** Flush deferred commits (deferral mode only). *)
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+  val stats_syncs : t -> int
+end

@@ -1,0 +1,137 @@
+(** Sorted linked-list set protected by RLU — the node-level workload of
+    the paper's hash-table benchmark (one such list per bucket).
+
+    Writers lock the predecessor (and the victim, for removals), validate
+    that the traversal is still current, and stage the pointer update; a
+    conflicting lock aborts the section and retries, exactly like the
+    reference RLU list. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Rlu = Rlu.Make (R) (T)
+
+  type node = { key : int; next : node Rlu.obj option }
+
+  (* [node_work] models the per-node traversal cost of a table too large
+     for the caches (pointer-chase misses on a real heap); it is charged
+     as private compute at every node visit and defaults to zero. *)
+  type set = { head : node Rlu.obj; node_work : int }
+
+  let create ?(node_work = 0) () =
+    { head = Rlu.obj { key = min_int; next = None }; node_work }
+
+  (* Lock an object without changing it (lock-then-validate). *)
+  let try_lock rlu o = Rlu.try_update rlu o Fun.id
+
+  let contains rlu set key =
+    Rlu.reader_lock rlu;
+    let rec walk cursor =
+      match cursor with
+      | None -> false
+      | Some o ->
+        R.work set.node_work;
+        let n = Rlu.deref rlu o in
+        if n.key < key then walk n.next else n.key = key
+    in
+    let found = walk (Rlu.deref rlu set.head).next in
+    Rlu.reader_unlock rlu;
+    found
+
+  (* Find the last node with key < [key], starting from the sentinel. *)
+  let rec find_prev rlu set prev key =
+    let p = Rlu.deref rlu prev in
+    match p.next with
+    | None -> prev
+    | Some o ->
+      R.work set.node_work;
+      if (Rlu.deref rlu o).key < key then find_prev rlu set o key else prev
+
+  let rec add rlu set key =
+    Rlu.reader_lock rlu;
+    let prev = find_prev rlu set set.head key in
+    let already_present =
+      match (Rlu.deref rlu prev).next with
+      | Some o -> (Rlu.deref rlu o).key = key
+      | None -> false
+    in
+    if already_present then begin
+      (* Read-only exit: no lock was taken, nothing to abort. *)
+      Rlu.reader_unlock rlu;
+      false
+    end
+    else if not (try_lock rlu prev) then begin
+      Rlu.abort rlu;
+      add rlu set key
+    end
+    else begin
+      (* We hold [prev]; re-read through our copy and re-validate. *)
+      let p = Rlu.deref rlu prev in
+      match p.next with
+      | Some o when (Rlu.deref rlu o).key = key ->
+        Rlu.abort rlu;
+        false
+      | Some o when (Rlu.deref rlu o).key < key ->
+        (* A concurrent insert slipped in between traversal and lock. *)
+        Rlu.abort rlu;
+        add rlu set key
+      | _ ->
+        let staged =
+          Rlu.try_update rlu prev (fun p ->
+              { p with next = Some (Rlu.obj { key; next = p.next }) })
+        in
+        assert staged;
+        Rlu.reader_unlock rlu;
+        true
+    end
+
+  let rec remove rlu set key =
+    Rlu.reader_lock rlu;
+    let prev = find_prev rlu set set.head key in
+    let retry () =
+      Rlu.abort rlu;
+      remove rlu set key
+    in
+    let found =
+      match (Rlu.deref rlu prev).next with
+      | Some o -> (Rlu.deref rlu o).key = key
+      | None -> false
+    in
+    if not found then begin
+      Rlu.reader_unlock rlu;
+      false
+    end
+    else if not (try_lock rlu prev) then retry ()
+    else begin
+      let p = Rlu.deref rlu prev in
+      match p.next with
+      | Some victim when (Rlu.deref rlu victim).key = key ->
+        if not (try_lock rlu victim) then retry ()
+        else begin
+          let v = Rlu.deref rlu victim in
+          let staged = Rlu.try_update rlu prev (fun p -> { p with next = v.next }) in
+          assert staged;
+          Rlu.reader_unlock rlu;
+          true
+        end
+      | Some victim when (Rlu.deref rlu victim).key < key ->
+        (* Concurrent insert moved the frontier; retry from the head. *)
+        retry ()
+      | _ ->
+        Rlu.abort rlu;
+        false
+    end
+
+  let to_list rlu set =
+    Rlu.reader_lock rlu;
+    let rec walk acc cursor =
+      match cursor with
+      | None -> List.rev acc
+      | Some o ->
+        let n = Rlu.deref rlu o in
+        walk (n.key :: acc) n.next
+    in
+    let keys = walk [] (Rlu.deref rlu set.head).next in
+    Rlu.reader_unlock rlu;
+    keys
+
+  let size rlu set = List.length (to_list rlu set)
+end

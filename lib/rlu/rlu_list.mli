@@ -1,0 +1,34 @@
+(** Sorted linked-list set protected by RLU — the per-bucket structure of
+    the paper's hash-table benchmark.
+
+    Readers traverse without synchronization inside an RLU section;
+    writers lock the predecessor (and the victim for removals), validate
+    the traversal and stage the pointer update.  Conflicts abort the
+    section and retry internally, so the operations below always return a
+    definitive answer. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  module Rlu : module type of Rlu.Make (R) (T)
+
+  type node = { key : int; next : node Rlu.obj option }
+
+  type set
+
+  val create : ?node_work:int -> unit -> set
+  (** Empty set.  [node_work] charges that much private compute per node
+      visited during traversals — it models the pointer-chase cost of a
+      table far larger than the caches when running under the simulator,
+      and defaults to zero (no effect on the live runtime). *)
+
+  val contains : Rlu.t -> set -> int -> bool
+  val add : Rlu.t -> set -> int -> bool
+  (** [false] if the key was already present. *)
+
+  val remove : Rlu.t -> set -> int -> bool
+  (** [false] if the key was absent. *)
+
+  val to_list : Rlu.t -> set -> int list
+  (** Ascending keys, read in one RLU section. *)
+
+  val size : Rlu.t -> set -> int
+end

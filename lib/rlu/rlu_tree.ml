@@ -1,0 +1,149 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Rlu = Rlu.Make (R) (T)
+
+  (* External BST: routers only route ([left] keys < [rkey] <= [right]
+     keys); data lives in the leaves.  Structural changes replace an
+     object's value in place, so parents never need re-pointing on
+     insert, and a delete rewrites exactly one router. *)
+  type node =
+    | Leaf of int option  (* None = empty slot *)
+    | Router of { rkey : int; left : node Rlu.obj; right : node Rlu.obj }
+
+  type tree = { root : node Rlu.obj; node_work : int }
+
+  let create ?(node_work = 0) () = { root = Rlu.obj (Leaf None); node_work }
+  let try_lock rlu o = Rlu.try_update rlu o Fun.id
+
+  (* Walk to the leaf responsible for [key]; returns the router above it
+     (if any) and the leaf object. *)
+  let rec descend rlu tree parent cursor key =
+    match Rlu.deref rlu cursor with
+    | Leaf _ -> (parent, cursor)
+    | Router { rkey; left; right } ->
+      R.work tree.node_work;
+      descend rlu tree (Some cursor) (if key < rkey then left else right) key
+
+  let contains rlu tree key =
+    Rlu.reader_lock rlu;
+    let _, leaf = descend rlu tree None tree.root key in
+    let found = match Rlu.deref rlu leaf with Leaf (Some k) -> k = key | _ -> false in
+    Rlu.reader_unlock rlu;
+    found
+
+  let rec add rlu tree key =
+    Rlu.reader_lock rlu;
+    let _, leaf = descend rlu tree None tree.root key in
+    match Rlu.deref rlu leaf with
+    | Leaf (Some k) when k = key ->
+      Rlu.reader_unlock rlu;
+      false
+    | _ ->
+      if not (try_lock rlu leaf) then begin
+        Rlu.abort rlu;
+        add rlu tree key
+      end
+      else begin
+        (* Re-validate through our locked copy. *)
+        match Rlu.deref rlu leaf with
+        | Leaf None ->
+          ignore (Rlu.try_update rlu leaf (fun _ -> Leaf (Some key)) : bool);
+          Rlu.reader_unlock rlu;
+          true
+        | Leaf (Some k) when k = key ->
+          Rlu.abort rlu;
+          false
+        | Leaf (Some k) ->
+          (* Split the leaf into a router over the two keys. *)
+          let lo = min k key and hi = max k key in
+          ignore
+            (Rlu.try_update rlu leaf (fun _ ->
+                 Router
+                   {
+                     rkey = hi;
+                     left = Rlu.obj (Leaf (Some lo));
+                     right = Rlu.obj (Leaf (Some hi));
+                   })
+              : bool);
+          Rlu.reader_unlock rlu;
+          true
+        | Router _ ->
+          (* A concurrent insert split this leaf first; retry deeper. *)
+          Rlu.abort rlu;
+          add rlu tree key
+      end
+
+  let rec remove rlu tree key =
+    Rlu.reader_lock rlu;
+    let retry () =
+      Rlu.abort rlu;
+      remove rlu tree key
+    in
+    let parent, leaf = descend rlu tree None tree.root key in
+    match Rlu.deref rlu leaf with
+    | Leaf (Some k) when k = key -> begin
+      match parent with
+      | None ->
+        (* The root itself is the leaf: just empty it. *)
+        if not (try_lock rlu leaf) then retry ()
+        else begin
+          match Rlu.deref rlu leaf with
+          | Leaf (Some k) when k = key ->
+            ignore (Rlu.try_update rlu leaf (fun _ -> Leaf None) : bool);
+            Rlu.reader_unlock rlu;
+            true
+          | _ -> retry ()
+        end
+      | Some router ->
+        if not (try_lock rlu router) then retry ()
+        else begin
+          (* The router may have been rewritten between traversal and
+             lock; re-check that [leaf] is still its child on key's side. *)
+          match Rlu.deref rlu router with
+          | Router { rkey; left; right } ->
+            let victim, sibling = if key < rkey then (left, right) else (right, left) in
+            if victim != leaf then retry ()
+            else if not (try_lock rlu victim && try_lock rlu sibling) then retry ()
+            else begin
+              match Rlu.deref rlu victim with
+              | Leaf (Some k) when k = key ->
+                (* Collapse: the router takes the sibling's value; the
+                   victim and the sibling object become unreachable. *)
+                let hoisted = Rlu.deref rlu sibling in
+                ignore (Rlu.try_update rlu router (fun _ -> hoisted) : bool);
+                Rlu.reader_unlock rlu;
+                true
+              | _ -> retry ()
+            end
+          | Leaf _ -> retry ()
+        end
+    end
+    | _ ->
+      Rlu.reader_unlock rlu;
+      false
+
+  let to_list rlu tree =
+    Rlu.reader_lock rlu;
+    let rec walk acc cursor =
+      match Rlu.deref rlu cursor with
+      | Leaf None -> acc
+      | Leaf (Some k) -> k :: acc
+      | Router { left; right; _ } -> walk (walk acc right) left
+    in
+    let keys = walk [] tree.root in
+    Rlu.reader_unlock rlu;
+    keys
+
+  let size rlu tree = List.length (to_list rlu tree)
+
+  let depth rlu tree =
+    Rlu.reader_lock rlu;
+    let rec walk cursor =
+      match Rlu.deref rlu cursor with
+      | Leaf None -> 0
+      | Leaf (Some _) -> 1
+      | Router { left; right; _ } -> 1 + max (walk left) (walk right)
+    in
+    let d = walk tree.root in
+    Rlu.reader_unlock rlu;
+    d
+end

@@ -1,0 +1,31 @@
+(** External (leaf-oriented) binary search tree protected by RLU — the
+    paper's citrus-tree benchmark structure (Section 6.4), with complex
+    multi-object updates: an insert splits a leaf into a router, a delete
+    collapses a router into its surviving child.
+
+    Because updates replace an object's *value* while its identity stays
+    pinned in the parent, inserts lock one object and deletes lock three
+    (the router, the victim leaf and the surviving sibling), exercising
+    RLU's multi-object commit path harder than the linked list does. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  module Rlu : module type of Rlu.Make (R) (T)
+
+  type tree
+
+  val create : ?node_work:int -> unit -> tree
+  (** Empty tree.  [node_work] charges private compute per router visited
+      (see {!Rlu_list.Make.create}). *)
+
+  val contains : Rlu.t -> tree -> int -> bool
+  val add : Rlu.t -> tree -> int -> bool
+  val remove : Rlu.t -> tree -> int -> bool
+
+  val to_list : Rlu.t -> tree -> int list
+  (** Ascending keys, read in one RLU section. *)
+
+  val size : Rlu.t -> tree -> int
+
+  val depth : Rlu.t -> tree -> int
+  (** Height of the tree (0 for empty), for balance diagnostics. *)
+end

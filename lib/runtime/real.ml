@@ -1,0 +1,49 @@
+(* The live substrate: OCaml 5 domains + Atomic cells + the host clock. *)
+
+let tid_key = Domain.DLS.new_key (fun () -> 0)
+
+module Runtime : Runtime_intf.S = struct
+  let name = "real"
+
+  type 'a cell = 'a Atomic.t
+
+  let cell v = Atomic.make v
+  let read = Atomic.get
+  let write = Atomic.set
+  let cas = Atomic.compare_and_set
+  let fetch_add c n = Atomic.fetch_and_add c n
+  let exchange = Atomic.exchange
+  let tid () = Domain.DLS.get tid_key
+  let get_time () = Ordo_clock.Clock.Host.get_time ()
+  let now () = Ordo_clock.Tsc.mono_ns ()
+  let pause () = Ordo_clock.Tsc.cpu_relax ()
+
+  let work n =
+    if n > 0 then begin
+      let stop = Ordo_clock.Tsc.mono_ns () + n in
+      while Ordo_clock.Tsc.mono_ns () < stop do
+        Ordo_clock.Tsc.cpu_relax ()
+      done
+    end
+
+  let fence () = ignore (Atomic.get (Atomic.make 0))
+end
+
+module Exec : Runtime_intf.EXEC = struct
+  module Runtime = Runtime
+
+  let num_cores () = Ordo_clock.Tsc.num_cpus ()
+
+  let run_on jobs =
+    let spawn i (core, fn) =
+      Domain.spawn (fun () ->
+          Domain.DLS.set tid_key i;
+          ignore (Ordo_clock.Tsc.set_affinity core : bool);
+          fn ())
+    in
+    let domains = List.mapi spawn jobs in
+    List.iter Domain.join domains
+end
+
+let run ~threads fn =
+  Exec.run_on (List.init threads (fun i -> (i, fun () -> fn i)))

@@ -1,0 +1,355 @@
+module Rng = Ordo_util.Rng
+module Topology = Ordo_util.Topology
+
+(* Simulated clocks are offset by this epoch so that skewed clocks are
+   always positive and a zero timestamp can mean "unset". *)
+let clock_epoch = 1_000_000_000_000
+
+type line = {
+  mutable owner : int;  (* hardware thread holding the line exclusively, -1 = memory *)
+  mutable free_at : int;  (* virtual time at which the line accepts the next RMW/store *)
+  mutable sharers : Bytes.t;  (* bitmap of threads with a valid shared copy; lazily sized *)
+  mutable epoch : int;  (* run id of the last access; stale lines reset lazily *)
+}
+
+type 'a cell = { mutable v : 'a; line : line }
+
+type thread = {
+  id : int;
+  mutable time : int;
+  mutable finished : bool;
+  smt_factor : float;  (* compute slowdown from co-resident SMT threads *)
+  reset : int;  (* invariant-clock start offset of this core *)
+}
+
+type stats = { events : int; end_vtime : int }
+
+type t = {
+  machine : Machine.t;
+  queue : (unit -> unit) Heap.t;
+  rng : Rng.t;
+  base : int;  (* timeline value at which this run started *)
+  mutable cur : thread;
+  mutable n_events : int;
+  mutable max_vtime : int;
+}
+
+let current : t option ref = ref None
+let in_simulation () = Option.is_some !current
+
+(* Cells survive across runs (workloads are built once, measured under
+   several configurations).  Each run gets a fresh epoch and lines reset
+   lazily on first touch. *)
+let run_epoch = ref 0
+
+(* One continuous timeline across every run and all setup code.  Virtual
+   time never restarts: timestamps stored in long-lived state (transaction
+   contexts, version chains, logs) from an earlier run or from setup code
+   must remain in the *past* of every later clock reading, or algorithms
+   comparing them would wait for clocks to "catch up" — or worse, treat
+   old data as coming from the future. *)
+let timeline = ref 0
+
+(* ---- sharer bitmap ---- *)
+
+let sharer_mem line tid =
+  let byte = tid / 8 in
+  Bytes.length line.sharers > byte
+  && Char.code (Bytes.unsafe_get line.sharers byte) land (1 lsl (tid mod 8)) <> 0
+
+let sharer_add line tid =
+  let byte = tid / 8 in
+  if Bytes.length line.sharers <= byte then begin
+    let bigger = Bytes.make (byte + 1) '\000' in
+    Bytes.blit line.sharers 0 bigger 0 (Bytes.length line.sharers);
+    line.sharers <- bigger
+  end;
+  let old = Char.code (Bytes.unsafe_get line.sharers byte) in
+  Bytes.unsafe_set line.sharers byte (Char.chr (old lor (1 lsl (tid mod 8))))
+
+let sharers_clear line =
+  if Bytes.length line.sharers > 0 then
+    Bytes.fill line.sharers 0 (Bytes.length line.sharers) '\000'
+
+let has_sharers line =
+  let n = Bytes.length line.sharers in
+  let rec scan i = i < n && (Bytes.unsafe_get line.sharers i <> '\000' || scan (i + 1)) in
+  scan 0
+
+let touch line =
+  if line.epoch <> !run_epoch then begin
+    line.epoch <- !run_epoch;
+    line.owner <- -1;
+    line.free_at <- 0;
+    sharers_clear line
+  end
+
+(* ---- the one effect ----
+
+   All operation semantics (value computation and line-state updates)
+   execute inline at initiation; initiation order equals virtual-time
+   order because a thread may never advance its clock past the next queued
+   event without going through the queue.  The only thing an operation
+   ever needs from the scheduler is "resume me with this value at this
+   instant", so that is the only effect. *)
+
+type _ Effect.t += E_resume : ('a * int) -> 'a Effect.t
+
+let cell v = { v; line = { owner = -1; free_at = 0; sharers = Bytes.empty; epoch = 0 } }
+
+(* The earliest queued event: a thread must not run past it directly. *)
+let horizon eng = match Heap.min_time eng.queue with None -> max_int | Some time -> time
+
+(* Finish an operation that completes at [completion]: advance the local
+   clock directly when no other thread could act first, otherwise park the
+   fiber in the event queue. *)
+let finish : type a. t -> thread -> a -> int -> a =
+ fun eng th v completion ->
+  if completion > eng.max_vtime then eng.max_vtime <- completion;
+  if completion < horizon eng then begin
+    th.time <- completion;
+    v
+  end
+  else Effect.perform (E_resume (v, completion))
+
+(* ---- costing ---- *)
+
+let noise eng =
+  let m = eng.machine in
+  if m.Machine.noise_prob > 0.0 && Rng.chance eng.rng m.Machine.noise_prob then
+    int_of_float (Rng.exponential eng.rng m.Machine.noise_mean_ns)
+  else 0
+
+(* Completion time of a load.  A hit (owned or validly shared) costs
+   [l1_ns]; a miss must wait for any in-flight exclusive operation on the
+   line ([free_at]) and then pay the transfer — this is what makes the
+   remote-write → local-read handoff of the offset measurement cost a full
+   one-way delay, as on real coherence hardware. *)
+let read_completion eng th line =
+  touch line;
+  let m = eng.machine in
+  if line.owner = th.id || sharer_mem line th.id then th.time + m.Machine.l1_ns
+  else begin
+    let cost =
+      if line.owner < 0 then m.Machine.mem_ns else Machine.transfer_ns m th.id line.owner
+    in
+    sharer_add line th.id;
+    let start = max th.time line.free_at in
+    (* Misses are pipelined through the line's directory slot: each one
+       occupies it briefly, so a storm of misses on a hot line serializes. *)
+    line.free_at <- start + m.Machine.read_service_ns;
+    start + cost
+  end
+
+(* A store or RMW: wait for the line, pull it over, invalidate sharers.
+   RMWs on a hot line therefore serialize — the logical-clock bottleneck. *)
+let exclusive_completion eng th line ~exec_ns =
+  touch line;
+  let m = eng.machine in
+  let start = max th.time line.free_at in
+  let transfer =
+    if line.owner = th.id then if has_sharers line then m.Machine.llc_ns else m.Machine.l1_ns
+    else if line.owner < 0 then m.Machine.mem_ns
+    else Machine.transfer_ns m th.id line.owner
+  in
+  let completion = start + transfer + exec_ns + noise eng in
+  line.free_at <- completion;
+  line.owner <- th.id;
+  sharers_clear line;
+  completion
+
+let scale th ns = int_of_float (float_of_int ns *. th.smt_factor)
+
+(* ---- operations ---- *)
+
+let read c =
+  match !current with
+  | None -> c.v
+  | Some eng ->
+    let th = eng.cur in
+    finish eng th c.v (read_completion eng th c.line)
+
+let write c x =
+  match !current with
+  | None -> c.v <- x
+  | Some eng ->
+    let th = eng.cur in
+    let completion =
+      exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.store_ns
+    in
+    c.v <- x;
+    finish eng th () completion
+
+let cas c expected desired =
+  match !current with
+  | None ->
+    let ok = c.v == expected in
+    if ok then c.v <- desired;
+    ok
+  | Some eng ->
+    let th = eng.cur in
+    let completion =
+      exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
+    in
+    let ok = c.v == expected in
+    if ok then c.v <- desired;
+    finish eng th ok completion
+
+let fetch_add c n =
+  match !current with
+  | None ->
+    let old = c.v in
+    c.v <- old + n;
+    old
+  | Some eng ->
+    let th = eng.cur in
+    let completion =
+      exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
+    in
+    let old = c.v in
+    c.v <- old + n;
+    finish eng th old completion
+
+let exchange c x =
+  match !current with
+  | None ->
+    let old = c.v in
+    c.v <- x;
+    old
+  | Some eng ->
+    let th = eng.cur in
+    let completion =
+      exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
+    in
+    let old = c.v in
+    c.v <- x;
+    finish eng th old completion
+
+let get_time () =
+  match !current with
+  | None ->
+    (* Outside a simulation (setup/teardown) the clock still moves, along
+       the same timeline, or Ordo's [new_time] would spin forever. *)
+    timeline := !timeline + 10;
+    clock_epoch + !timeline
+  | Some eng ->
+    let th = eng.cur in
+    let completion = th.time + scale th eng.machine.Machine.tsc_ns + noise eng in
+    finish eng th (completion + clock_epoch - th.reset) completion
+
+let now () =
+  match !current with
+  | None -> 0
+  | Some eng ->
+    (* Relative to the start of this run: harness loops measure durations
+       with [now]; absolute ordering must use [get_time]. *)
+    let th = eng.cur in
+    let completion = th.time + eng.machine.Machine.l1_ns in
+    finish eng th (completion - eng.base) completion
+
+let tid () = match !current with None -> 0 | Some eng -> eng.cur.id
+
+let pause () =
+  match !current with
+  | None -> ()
+  | Some eng ->
+    let th = eng.cur in
+    finish eng th () (th.time + eng.machine.Machine.pause_ns)
+
+let work n =
+  match !current with
+  | None -> ()
+  | Some eng ->
+    let th = eng.cur in
+    finish eng th () (th.time + scale th (max 0 n))
+
+let fence () = ()
+
+(* ---- scheduler ---- *)
+
+let fiber eng th fn =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> th.finished <- true);
+      exnc = raise;
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | E_resume (v, completion) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                th.time <- completion;
+                Heap.push eng.queue ~time:completion (fun () ->
+                    eng.cur <- th;
+                    continue k v))
+          | _ -> None);
+    }
+
+let run machine jobs =
+  if Option.is_some !current then invalid_arg "Engine.run: not reentrant";
+  let topo = machine.Machine.topo in
+  let nthreads = Topology.total_threads topo in
+  let seen = Array.make nthreads false in
+  List.iter
+    (fun (hw, _) ->
+      if hw < 0 || hw >= nthreads then invalid_arg "Engine.run: hardware thread out of range";
+      if seen.(hw) then invalid_arg "Engine.run: duplicate hardware thread";
+      seen.(hw) <- true)
+    jobs;
+  (* Static SMT pressure: how many of this run's threads share each core. *)
+  let lanes = Array.make (Topology.physical_cores topo) 0 in
+  List.iter
+    (fun (hw, _) ->
+      let p = Topology.physical_of topo hw in
+      lanes.(p) <- lanes.(p) + 1)
+    jobs;
+  let base = !timeline in
+  let dummy = { id = -1; time = base; finished = false; smt_factor = 1.0; reset = 0 } in
+  let eng =
+    {
+      machine;
+      queue = Heap.create ();
+      rng = Rng.create ~seed:machine.Machine.seed ();
+      base;
+      cur = dummy;
+      n_events = 0;
+      max_vtime = base;
+    }
+  in
+  let start (hw, fn) =
+    let th =
+      {
+        id = hw;
+        time = base;
+        finished = false;
+        smt_factor =
+          1.0
+          +. (machine.Machine.smt_slowdown
+             *. float_of_int (lanes.(Topology.physical_of topo hw) - 1));
+        reset = Machine.clock_reset_ns machine hw;
+      }
+    in
+    Heap.push eng.queue ~time:base (fun () ->
+        eng.cur <- th;
+        fiber eng th fn)
+  in
+  List.iter start jobs;
+  incr run_epoch;
+  current := Some eng;
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () ->
+      let rec drain () =
+        match Heap.pop eng.queue with
+        | None -> ()
+        | Some (_, act) ->
+          eng.n_events <- eng.n_events + 1;
+          act ();
+          drain ()
+      in
+      drain ());
+  (* Later clock readings (and the next run) live in this run's future;
+     the margin clears the largest per-core reset offset. *)
+  timeline := eng.max_vtime + 10_000;
+  { events = eng.n_events; end_vtime = eng.max_vtime - base }

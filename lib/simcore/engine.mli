@@ -1,0 +1,54 @@
+(** Discrete-event execution engine.
+
+    Simulated threads are OCaml fibers (effect handlers); every shared
+    memory operation is performed as an effect, priced by the machine's
+    latency model, and the fiber resumes at the operation's completion
+    instant in virtual time.  A single event queue ordered by
+    [(time, sequence)] makes runs fully deterministic.
+
+    Cache-line model: a {!cell} owns one line.  The line remembers its
+    current exclusive owner, the set of threads holding a valid shared
+    copy, and the virtual time until which it is busy.  Loads by a holder
+    cost [l1_ns]; other loads pay a transfer and join the sharers.  Stores
+    and RMWs wait for the line to be free, pay transfer + execution cost,
+    take ownership, and invalidate all sharers — RMWs on a hot line
+    therefore serialize, which is precisely the logical-clock bottleneck
+    the paper attacks. *)
+
+type 'a cell
+
+type stats = {
+  events : int;  (** Number of scheduled events processed. *)
+  end_vtime : int;  (** Largest virtual completion time of any thread. *)
+}
+
+(* Cell operations.  Inside a simulation they perform effects and cost
+   virtual time; outside (setup/teardown of workloads) they fall back to
+   direct, free access so harnesses can build data structures cheaply. *)
+
+val cell : 'a -> 'a cell
+val read : 'a cell -> 'a
+val write : 'a cell -> 'a -> unit
+val cas : 'a cell -> 'a -> 'a -> bool
+val fetch_add : int cell -> int -> int
+val exchange : 'a cell -> 'a -> 'a
+
+val get_time : unit -> int
+(** Simulated invariant clock of the current core: virtual time shifted by
+    the core's RESET offset (plus a fixed epoch), after paying the
+    timestamp-instruction cost. *)
+
+val now : unit -> int
+(** True virtual time (the simulator's reference clock). *)
+
+val tid : unit -> int
+val pause : unit -> unit
+val work : int -> unit
+val fence : unit -> unit
+
+val in_simulation : unit -> bool
+
+val run : Machine.t -> (int * (unit -> unit)) list -> stats
+(** [run machine jobs] runs each [(hw_thread, fn)] as one simulated thread
+    pinned to that hardware thread, to completion.  Hardware thread ids
+    must be distinct and within the machine's topology.  Not reentrant. *)

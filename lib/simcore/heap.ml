@@ -1,0 +1,72 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  let data = t.data in
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  data.(!i) <- entry;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before data.(!i) data.(parent) then begin
+      let tmp = data.(parent) in
+      data.(parent) <- data.(!i);
+      data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let data = t.data in
+      data.(0) <- data.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before data.(l) data.(!smallest) then smallest := l;
+        if r < t.len && before data.(r) data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = data.(!smallest) in
+          data.(!smallest) <- data.(!i);
+          data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let min_time t = if t.len = 0 then None else Some t.data.(0).time

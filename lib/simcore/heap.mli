@@ -1,0 +1,18 @@
+(** Array-based binary min-heap keyed by [(time, seq)] pairs.
+
+    The sequence number gives FIFO order to events scheduled for the same
+    virtual instant, which keeps the simulation fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Insert with the next sequence number. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum [(time, payload)]. *)
+
+val min_time : 'a t -> int option

@@ -1,0 +1,106 @@
+module Topology = Ordo_util.Topology
+module Rng = Ordo_util.Rng
+
+type t = {
+  topo : Topology.t;
+  l1_ns : int;
+  mem_ns : int;
+  llc_ns : int;
+  mesh_step_ns : float;
+  cross_ns : int;
+  read_service_ns : int;
+  atomic_ns : int;
+  store_ns : int;
+  tsc_ns : int;
+  pause_ns : int;
+  smt_slowdown : float;
+  reset_ns : int array;
+  noise_prob : float;
+  noise_mean_ns : float;
+  seed : int64;
+}
+
+let make ?(l1_ns = 2) ?(mem_ns = 90) ?(llc_ns = 30) ?(mesh_step_ns = 0.0) ?(cross_ns = 110)
+    ?(read_service_ns = 40) ?(atomic_ns = 12) ?(store_ns = 4) ?(tsc_ns = 10) ?(pause_ns = 6)
+    ?(smt_slowdown = 0.75) ?socket_reset_ns ?(core_jitter_ns = 8) ?(noise_prob = 0.01)
+    ?(noise_mean_ns = 250.0) ?(seed = 42L) topo =
+  let socket_reset =
+    match socket_reset_ns with
+    | Some a ->
+      if Array.length a <> topo.Topology.sockets then
+        invalid_arg "Machine.make: socket_reset_ns length must equal socket count";
+      a
+    | None -> Array.make topo.Topology.sockets 0
+  in
+  let rng = Rng.create ~seed ()
+  and physical = Topology.physical_cores topo in
+  let reset_of_core p =
+    let socket = p / topo.Topology.cores_per_socket in
+    socket_reset.(socket) + if core_jitter_ns > 0 then Rng.int rng core_jitter_ns else 0
+  in
+  let reset_ns = Array.init physical reset_of_core in
+  {
+    topo;
+    l1_ns;
+    mem_ns;
+    llc_ns;
+    mesh_step_ns;
+    cross_ns;
+    read_service_ns;
+    atomic_ns;
+    store_ns;
+    tsc_ns;
+    pause_ns;
+    smt_slowdown;
+    reset_ns;
+    noise_prob;
+    noise_mean_ns;
+    seed;
+  }
+
+(* Presets: latencies and RESET delays are chosen so the Figure 4 algorithm
+   measures offsets in the ranges the paper reports (Table 1, Figure 9).
+   The implied physical constants come from the paper's own numbers, e.g.
+   ARM: 1100 ns one way and 100 ns the other way means a ~600 ns one-way
+   delay and a ~500 ns socket-1 RESET delay. *)
+
+let xeon =
+  make Topology.xeon ~l1_ns:2 ~llc_ns:28 ~cross_ns:82 ~tsc_ns:10 ~atomic_ns:12
+    ~socket_reset_ns:[| 0; 9; 17; 5; 13; 21; 11; 108 |]
+    ~seed:1L
+
+let phi =
+  make Topology.phi ~l1_ns:3 ~llc_ns:22 ~mesh_step_ns:2.4 ~cross_ns:120 ~tsc_ns:42 ~atomic_ns:18
+    ~mem_ns:110 ~smt_slowdown:0.72
+    ~socket_reset_ns:[| 0 |]
+    ~seed:2L
+
+let amd =
+  make Topology.amd ~l1_ns:2 ~llc_ns:40 ~cross_ns:72 ~tsc_ns:13 ~atomic_ns:14
+    ~socket_reset_ns:[| 0; 12; 25; 6; 18; 30; 9; 22 |]
+    ~seed:3L
+
+let arm =
+  make Topology.arm ~l1_ns:2 ~llc_ns:44 ~cross_ns:295 ~tsc_ns:11 ~atomic_ns:13
+    ~socket_reset_ns:[| 0; 500 |]
+    ~seed:4L
+
+let presets = [ xeon; phi; amd; arm ]
+let by_name name = List.find_opt (fun m -> m.topo.Topology.name = name) presets
+
+let transfer_ns m requester owner =
+  let topo = m.topo in
+  if Topology.same_physical topo requester owner then m.l1_ns
+  else if Topology.same_socket topo requester owner then
+    if m.mesh_step_ns = 0.0 then m.llc_ns
+    else begin
+      (* On-die mesh (Xeon Phi): latency grows with ring distance. *)
+      let a = Topology.physical_of topo requester mod topo.Topology.cores_per_socket
+      and b = Topology.physical_of topo owner mod topo.Topology.cores_per_socket in
+      let d = abs (a - b) in
+      let d = min d (topo.Topology.cores_per_socket - d) in
+      m.llc_ns + int_of_float (m.mesh_step_ns *. float_of_int d)
+    end
+  else m.cross_ns
+
+let clock_reset_ns m thread = m.reset_ns.(Topology.physical_of m.topo thread)

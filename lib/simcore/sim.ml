@@ -1,0 +1,33 @@
+module Runtime_intf = Ordo_runtime.Runtime_intf
+
+module Runtime : Runtime_intf.S = struct
+  let name = "sim"
+
+  type 'a cell = 'a Engine.cell
+
+  let cell = Engine.cell
+  let read = Engine.read
+  let write = Engine.write
+  let cas = Engine.cas
+  let fetch_add = Engine.fetch_add
+  let exchange = Engine.exchange
+  let tid = Engine.tid
+  let get_time = Engine.get_time
+  let now = Engine.now
+  let pause = Engine.pause
+  let work = Engine.work
+  let fence = Engine.fence
+end
+
+let run_on machine jobs = Engine.run machine jobs
+
+let run machine ~threads fn =
+  Engine.run machine (List.init threads (fun i -> (i, fun () -> fn i)))
+
+let exec machine : (module Runtime_intf.EXEC) =
+  (module struct
+    module Runtime = Runtime
+
+    let num_cores () = Ordo_util.Topology.total_threads machine.Machine.topo
+    let run_on jobs = ignore (Engine.run machine jobs : Engine.stats)
+  end)

@@ -1,0 +1,20 @@
+(** Public façade of the machine simulator.
+
+    [Runtime] is the simulated instantiation of the runtime signature; pass
+    it to any of the algorithm functors (RLU, TL2, CC schemes, boundary
+    measurement) and launch the threads with {!run} or {!run_on} on a
+    {!Machine.t}.  The build host's core count is irrelevant: a 240-thread
+    Xeon run is a single-threaded deterministic simulation. *)
+
+module Runtime : Ordo_runtime.Runtime_intf.S
+
+val run : Machine.t -> threads:int -> (int -> unit) -> Engine.stats
+(** [run machine ~threads fn] executes [fn i] on hardware threads
+    [0 .. threads-1] (physical cores first, then SMT lanes). *)
+
+val run_on : Machine.t -> (int * (unit -> unit)) list -> Engine.stats
+(** Explicit placement, as [Runtime_intf.EXEC.run_on]. *)
+
+val exec : Machine.t -> (module Ordo_runtime.Runtime_intf.EXEC)
+(** Package a machine as an [EXEC] for placement-polymorphic code (the
+    boundary measurement). *)

@@ -1,0 +1,97 @@
+(** STAMP-shaped workload kernels for the TL2 evaluation (Figure 15).
+
+    Porting the full STAMP suite is out of scope; what Figure 15 actually
+    exercises is the interaction between transaction length, conflict
+    probability and global-clock pressure.  Each kernel below reproduces
+    the profile the paper attributes to its namesake:
+
+    - genome: large, read-dominated, conflict-free transactions;
+    - intruder: medium transactions over a skewed key space (queue+dict);
+    - kmeans: very short transactions on a small set of cluster centers;
+    - labyrinth: very long transactions (grid path claim), expensive
+      re-execution on abort;
+    - ssca2: tiny transactions over a huge array (graph edge inserts);
+    - vacation: medium skewed read-write transactions (reservations). *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Stm = Tl2.Make (R) (T)
+  module Rng = Ordo_util.Rng
+  module Zipf = Ordo_util.Zipf
+
+  type kernel = {
+    name : string;
+    tvars : int;  (** Size of the shared table. *)
+    reads : int;  (** Transactional loads per transaction. *)
+    writes : int;  (** Transactional stores per transaction. *)
+    access_work_ns : int;  (** Private compute per access. *)
+    theta : float;  (** Access skew (0 = uniform). *)
+  }
+
+  let genome = { name = "genome"; tvars = 32768; reads = 128; writes = 2; access_work_ns = 55; theta = 0.0 }
+  let intruder = { name = "intruder"; tvars = 4096; reads = 12; writes = 6; access_work_ns = 35; theta = 0.6 }
+  let kmeans = { name = "kmeans"; tvars = 64; reads = 4; writes = 2; access_work_ns = 30; theta = 0.0 }
+  let labyrinth = { name = "labyrinth"; tvars = 262144; reads = 180; writes = 24; access_work_ns = 25; theta = 0.0 }
+  let ssca2 = { name = "ssca2"; tvars = 65536; reads = 3; writes = 2; access_work_ns = 15; theta = 0.0 }
+  let vacation = { name = "vacation"; tvars = 8192; reads = 12; writes = 3; access_work_ns = 30; theta = 0.3 }
+  let kernels = [ genome; intruder; kmeans; labyrinth; ssca2; vacation ]
+
+  type instance = {
+    kernel : kernel;
+    stm : Stm.t;
+    table : int Stm.tvar array;
+    zipf : Zipf.t option;
+  }
+
+  let create kernel ~threads =
+    {
+      kernel;
+      stm = Stm.create ~threads ();
+      table = Array.init kernel.tvars (fun i -> Stm.tvar i);
+      zipf = (if kernel.theta > 0.0 then Some (Zipf.create ~n:kernel.tvars ~theta:kernel.theta) else None);
+    }
+
+  let sample inst rng =
+    match inst.zipf with
+    | Some z -> Zipf.sample z rng
+    | None -> Rng.int rng inst.kernel.tvars
+
+  (* One transaction: read [reads] cells (accumulating), then update
+     [writes] of the sampled locations.  The rng advances across retries,
+     so a conflicting transaction re-executes against fresh indices, as a
+     re-run STAMP transaction would see fresh queue/grid state. *)
+  let run_tx inst rng =
+    let k = inst.kernel in
+    Stm.atomically inst.stm (fun tx ->
+        let acc = ref 0 in
+        let written = Array.make k.writes 0 in
+        for i = 0 to k.reads - 1 do
+          let idx = sample inst rng in
+          acc := !acc + Stm.read tx inst.table.(idx);
+          R.work k.access_work_ns;
+          if i < k.writes then written.(i) <- idx
+        done;
+        for j = 0 to k.writes - 1 do
+          Stm.write tx inst.table.(written.(j)) (!acc + j);
+          R.work k.access_work_ns
+        done)
+
+  (* The sequential baseline: same memory traffic and compute, no STM
+     bookkeeping — the denominator of Figure 15's speedup. *)
+  let run_seq inst rng =
+    let k = inst.kernel in
+    let acc = ref 0 in
+    let written = Array.make k.writes 0 in
+    for i = 0 to k.reads - 1 do
+      let idx = sample inst rng in
+      acc := !acc + Stm.unsafe_load inst.table.(idx);
+      R.work k.access_work_ns;
+      if i < k.writes then written.(i) <- idx
+    done;
+    for j = 0 to k.writes - 1 do
+      Stm.unsafe_store inst.table.(written.(j)) (!acc + j);
+      R.work k.access_work_ns
+    done
+
+  let stats_commits inst = Stm.stats_commits inst.stm
+  let stats_aborts inst = Stm.stats_aborts inst.stm
+end

@@ -1,0 +1,154 @@
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  module Order = Ordo_core.Timestamp.Order (T)
+
+  exception Retry
+
+  (* Ownership record encoding: a non-negative value is the version
+     timestamp of the last committed write; a negative value [-(tid + 1)]
+     is the lock word of the committing owner. *)
+  type 'a tvar = { id : int; orec : int R.cell; data : 'a R.cell }
+
+  (* Buffered write.  [buffered] is the value as [Obj.t]: the closures
+     were created with the tvar in scope, so the representation is only
+     ever converted back at its own type. *)
+  type wentry = {
+    mutable buffered : Obj.t;
+    mutable prev_version : int;
+    entry_lock : wentry -> bool;
+    entry_unlock : wentry -> unit;
+    entry_publish : wentry -> int -> unit;
+  }
+
+  type ctx = {
+    tid : int;
+    mutable start_ts : int;
+    mutable reads : int R.cell list;
+    wset : (int, wentry) Hashtbl.t;
+    mutable in_tx : bool;
+    mutable commits : int;
+    mutable aborts : int;
+  }
+
+  type tx = ctx
+  type t = { ctxs : ctx array }
+
+  let next_tvar_id = R.cell 0
+
+  let create ~threads () =
+    if threads < 1 then invalid_arg "Tl2.create: threads must be >= 1";
+    let ctx tid =
+      {
+        tid;
+        start_ts = 0;
+        reads = [];
+        wset = Hashtbl.create 16;
+        in_tx = false;
+        commits = 0;
+        aborts = 0;
+      }
+    in
+    { ctxs = Array.init threads ctx }
+
+  let tvar v = { id = R.fetch_add next_tvar_id 1; orec = R.cell 0; data = R.cell v }
+  let unsafe_load tv = R.read tv.data
+  let unsafe_store tv v = R.write tv.data v
+  let lock_word tid = -(tid + 1)
+
+  let read tx tv =
+    match Hashtbl.find_opt tx.wset tv.id with
+    | Some e -> Obj.obj e.buffered
+    | None ->
+      (* Version-value-version: consistent iff the orec was unlocked, did
+         not change, and is certainly no newer than our start. *)
+      let v1 = R.read tv.orec in
+      let value = R.read tv.data in
+      let v2 = R.read tv.orec in
+      if v1 < 0 || v1 <> v2 || not (Order.certainly_before v1 tx.start_ts) then raise Retry;
+      tx.reads <- tv.orec :: tx.reads;
+      value
+
+  let write tx tv v =
+    match Hashtbl.find_opt tx.wset tv.id with
+    | Some e -> e.buffered <- Obj.repr v
+    | None ->
+      let entry_lock e =
+        let o = R.read tv.orec in
+        if o < 0 || not (Order.certainly_before o tx.start_ts) then false
+        else if R.cas tv.orec o (lock_word tx.tid) then begin
+          e.prev_version <- o;
+          true
+        end
+        else false
+      in
+      let entry_unlock e = R.write tv.orec e.prev_version in
+      let entry_publish e commit_ts =
+        R.write tv.data (Obj.obj e.buffered);
+        R.write tv.orec commit_ts
+      in
+      Hashtbl.add tx.wset tv.id
+        { buffered = Obj.repr v; prev_version = 0; entry_lock; entry_unlock; entry_publish }
+
+  let commit tx =
+    if Hashtbl.length tx.wset > 0 then begin
+      (* Phase 1: lock the write set (try-lock: lock-order deadlocks
+         become aborts). *)
+      let locked = ref [] in
+      let lock_all () =
+        try
+          Hashtbl.iter
+            (fun _ e ->
+              if e.entry_lock e then locked := e :: !locked else raise Exit)
+            tx.wset;
+          true
+        with Exit -> false
+      in
+      let release () = List.iter (fun e -> e.entry_unlock e) !locked in
+      if not (lock_all ()) then begin
+        release ();
+        raise Retry
+      end;
+      (* Phase 2: commit timestamp — the contended fetch-and-add in the
+         logical instantiation, a local new_time past our start for Ordo. *)
+      let commit_ts = T.after tx.start_ts in
+      (* Phase 3: validate the read set against the start timestamp. *)
+      let my_lock = lock_word tx.tid in
+      let valid_read orec =
+        let o = R.read orec in
+        o = my_lock || (o >= 0 && Order.certainly_before o tx.start_ts)
+      in
+      if not (List.for_all valid_read tx.reads) then begin
+        release ();
+        raise Retry
+      end;
+      (* Phase 4: publish and release. *)
+      Hashtbl.iter (fun _ e -> e.entry_publish e commit_ts) tx.wset
+    end
+
+  let atomically t f =
+    let tx = t.ctxs.(R.tid ()) in
+    if tx.in_tx then invalid_arg "Tl2.atomically: nested transactions are not supported";
+    tx.in_tx <- true;
+    let rec attempt backoff =
+      tx.start_ts <- (if T.boundary = 0 then T.get () else T.after tx.start_ts);
+      tx.reads <- [];
+      Hashtbl.reset tx.wset;
+      match
+        let result = f tx in
+        commit tx;
+        result
+      with
+      | result ->
+        tx.commits <- tx.commits + 1;
+        tx.in_tx <- false;
+        result
+      | exception Retry ->
+        tx.aborts <- tx.aborts + 1;
+        R.work backoff;
+        attempt (min (backoff * 2) 4_000)
+    in
+    attempt 100
+
+  let sum t f = Array.fold_left (fun acc ctx -> acc + f ctx) 0 t.ctxs
+  let stats_commits t = sum t (fun c -> c.commits)
+  let stats_aborts t = sum t (fun c -> c.aborts)
+end

@@ -1,0 +1,44 @@
+(** TL2 (Transactional Locking II, Dice et al.) — the clock-based STM of
+    the paper's Section 4.3.
+
+    Word-based, ownership-record STM: a transaction records a start
+    timestamp, reads optimistically against per-tvar version words, buffers
+    writes privately, and at commit locks its write set, takes a commit
+    timestamp, validates the read set against the start timestamp and
+    publishes.  The global version clock — one fetch-and-add per update
+    transaction — is the scalability bottleneck; the Ordo instantiation
+    replaces it with [new_time]/[cmp_time] and conservatively aborts on
+    uncertain comparisons. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
+  type t
+  type 'a tvar
+  type tx
+
+  exception Retry
+  (** Raised internally on conflict; [atomically] catches it and re-runs
+      the transaction.  User code must let it propagate. *)
+
+  val create : threads:int -> unit -> t
+  val tvar : 'a -> 'a tvar
+
+  val read : tx -> 'a tvar -> 'a
+  (** Transactional load; sees the transaction's own buffered writes. *)
+
+  val write : tx -> 'a tvar -> 'a -> unit
+  (** Buffered transactional store. *)
+
+  val atomically : t -> (tx -> 'a) -> 'a
+  (** Run a transaction to successful commit, retrying on conflicts.  The
+      body must be repeatable: no side effects other than tvar access. *)
+
+  val unsafe_load : 'a tvar -> 'a
+  (** Direct read outside any transaction (validation/setup, and the
+      sequential baseline of the STAMP experiment). *)
+
+  val unsafe_store : 'a tvar -> 'a -> unit
+  (** Direct write outside any transaction (setup/sequential baseline). *)
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end

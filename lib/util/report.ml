@@ -1,0 +1,61 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let human x =
+  let ax = Float.abs x in
+  if ax >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if ax >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+  else if ax >= 1e3 then Printf.sprintf "%.1fk" (x /. 1e3)
+  else if ax >= 100.0 then Printf.sprintf "%.0f" x
+  else if ax >= 1.0 then Printf.sprintf "%.2f" x
+  else if ax = 0.0 then "0"
+  else Printf.sprintf "%.3f" x
+
+let print_aligned rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    let ncols = List.length first in
+    let widths = Array.make ncols 0 in
+    let note r =
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) r
+    in
+    List.iter note rows;
+    let print_row r =
+      List.iteri
+        (fun i cell ->
+          if i > 0 then print_string "  ";
+          Printf.printf "%*s" widths.(i) cell)
+        r;
+      print_newline ()
+    in
+    List.iter print_row rows
+
+let table ~title ~header rows =
+  Printf.printf "\n-- %s --\n" title;
+  print_aligned (header :: rows)
+
+let series ~title ~xlabel ~cols rows =
+  let header = xlabel :: cols in
+  let data = List.map (fun (x, ys) -> string_of_int x :: List.map human ys) rows in
+  table ~title ~header data
+
+let kv k v = Printf.printf "%s: %s\n" k v
+
+let matrix ~title ~row_label m =
+  Printf.printf "\n-- %s --\n" title;
+  let n = Array.length m in
+  if n = 0 then ()
+  else
+    (* Sub-sample large matrices so a 240x240 offset map stays readable. *)
+    let max_cells = 16 in
+    let step = max 1 ((n + max_cells - 1) / max_cells) in
+    let idxs = List.filter (fun i -> i mod step = 0) (List.init n Fun.id) in
+    let header = row_label :: List.map string_of_int idxs in
+    let rows =
+      List.map
+        (fun i -> string_of_int i :: List.map (fun j -> string_of_int m.(i).(j)) idxs)
+        idxs
+    in
+    print_aligned (header :: rows)

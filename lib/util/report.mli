@@ -1,0 +1,26 @@
+(** Plain-text rendering of benchmark tables and figure series.
+
+    Every experiment in [bench/main.exe] prints through this module so the
+    output has one consistent, diff-friendly format: a title line, a header
+    row, aligned data rows. *)
+
+val section : string -> unit
+(** Print a prominent section banner. *)
+
+val table : title:string -> header:string list -> string list list -> unit
+(** Aligned table with a header row. *)
+
+val series :
+  title:string -> xlabel:string -> cols:string list -> (int * float list) list -> unit
+(** A figure-style series: one row per x value (e.g. core count), one column
+    per curve.  Values are printed with [human]. *)
+
+val kv : string -> string -> unit
+(** One "key: value" line. *)
+
+val human : float -> string
+(** Compact human formatting: [12.3M], [45.6k], [789], [0.12]. *)
+
+val matrix : title:string -> row_label:string -> int array array -> unit
+(** Heat-map style integer matrix (used for pairwise clock-offset plots);
+    prints with row/column indices, sub-sampled if larger than 16x16. *)

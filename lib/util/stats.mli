@@ -1,0 +1,36 @@
+(** Small online/offline statistics helpers used by benchmarks and the
+    offset-measurement machinery. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Full summary of a sample.  The input array is not modified.
+    Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; the array must be sorted. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+(** Online accumulator (Welford) for streams whose size is unknown. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

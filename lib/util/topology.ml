@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  smt : int;
+  ghz : float;
+}
+
+let total_threads t = t.sockets * t.cores_per_socket * t.smt
+let physical_cores t = t.sockets * t.cores_per_socket
+let physical_of t thread = thread mod physical_cores t
+let smt_lane_of t thread = thread / physical_cores t
+let socket_of t thread = physical_of t thread / t.cores_per_socket
+let same_socket t a b = socket_of t a = socket_of t b
+let same_physical t a b = physical_of t a = physical_of t b
+
+let xeon = { name = "xeon"; sockets = 8; cores_per_socket = 15; smt = 2; ghz = 2.4 }
+let phi = { name = "phi"; sockets = 1; cores_per_socket = 64; smt = 4; ghz = 1.3 }
+let amd = { name = "amd"; sockets = 8; cores_per_socket = 4; smt = 1; ghz = 2.8 }
+let arm = { name = "arm"; sockets = 2; cores_per_socket = 48; smt = 1; ghz = 2.0 }
+let presets = [ xeon; phi; amd; arm ]

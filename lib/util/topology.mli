@@ -1,0 +1,50 @@
+(** Description of a multicore machine's shape: sockets, physical cores,
+    SMT lanes, and the hardware-thread numbering used throughout the
+    reproduction.
+
+    Numbering convention (matching how the paper's experiments fill
+    machines): hardware threads [0 .. P-1] are the physical cores, laid out
+    socket by socket; threads [P .. 2P-1] are the second SMT lane of the
+    same cores in the same order, and so on.  So "run on n cores" uses all
+    physical cores before any hyperthread, exactly like Figure 11's x-axis. *)
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  smt : int;  (** SMT lanes per physical core (1 = no hyperthreading). *)
+  ghz : float;  (** Nominal processor speed, for reporting only. *)
+}
+
+val total_threads : t -> int
+(** [sockets * cores_per_socket * smt]. *)
+
+val physical_cores : t -> int
+(** [sockets * cores_per_socket]. *)
+
+val socket_of : t -> int -> int
+(** Socket index of a hardware thread. *)
+
+val physical_of : t -> int -> int
+(** Machine-wide physical-core index of a hardware thread. *)
+
+val smt_lane_of : t -> int -> int
+(** SMT lane (0-based) of a hardware thread. *)
+
+val same_socket : t -> int -> int -> bool
+val same_physical : t -> int -> int -> bool
+
+val xeon : t
+(** 8-socket, 120-core (240-thread) Intel Xeon from Table 1. *)
+
+val phi : t
+(** 64-core, 256-thread Intel Xeon Phi. *)
+
+val amd : t
+(** 8-socket, 32-core AMD. *)
+
+val arm : t
+(** 2-socket, 96-core ARM. *)
+
+val presets : t list
+(** The four Table 1 machines, in paper order. *)

@@ -1,0 +1,17 @@
+(** Zipfian key sampler for skewed workloads (YCSB-style access patterns).
+
+    Uses the Gray et al. quick-Zipf method (O(n) setup, O(1) per sample),
+    matching the generator used by the original YCSB and DBx1000
+    harnesses. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over keys [\[0, n)] with skew
+    [theta] (YCSB convention; 0.0 = uniform-ish, 0.99 = hot-spot heavy).
+    [theta] must be in [\[0, 1)] and [n >= 1]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a key.  Key 0 is the hottest. *)
+
+val n : t -> int

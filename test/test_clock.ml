@@ -1,0 +1,72 @@
+(* Host hardware-clock stubs: monotonicity, calibration, affinity probes. *)
+
+module Tsc = Ordo_clock.Tsc
+module Clock = Ordo_clock.Clock
+
+let test_mono_increases () =
+  let a = Tsc.mono_ns () in
+  let b = Tsc.mono_ns () in
+  Alcotest.(check bool) "monotonic ns non-decreasing" true (b >= a);
+  Alcotest.(check bool) "plausible epoch" true (a > 0)
+
+let test_ticks_nondecreasing () =
+  let prev = ref (Tsc.ticks_serialized ()) in
+  for _ = 1 to 10_000 do
+    let t = Tsc.ticks_serialized () in
+    if t < !prev then Alcotest.failf "serialized ticks went backwards: %d -> %d" !prev t;
+    prev := t
+  done
+
+let test_calibration () =
+  let cal = Tsc.calibration () in
+  Alcotest.(check bool) "positive rate" true (cal.Tsc.ticks_per_ns > 0.0);
+  if Tsc.hardware_backend then begin
+    (* A cycle counter on any plausible host runs at 0.01-10 GHz. *)
+    Alcotest.(check bool) "rate plausible" true
+      (cal.Tsc.ticks_per_ns > 0.01 && cal.Tsc.ticks_per_ns < 10.0)
+  end
+
+let test_ticks_to_ns () =
+  let cal = { Tsc.ticks_per_ns = 2.0; measured_over_ns = 0 } in
+  Alcotest.(check int) "2 ticks/ns" 500 (Tsc.ticks_to_ns cal 1000)
+
+let test_host_clock_monotonic () =
+  let prev = ref (Clock.Host.get_time ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.Host.get_time () in
+    if t < !prev then Alcotest.failf "host clock went backwards: %d -> %d" !prev t;
+    prev := t
+  done
+
+let test_host_clock_advances () =
+  let t0 = Clock.Host.get_time () in
+  let target = Tsc.mono_ns () + 2_000_000 in
+  while Tsc.mono_ns () < target do
+    Tsc.cpu_relax ()
+  done;
+  let t1 = Clock.Host.get_time () in
+  (* 2 ms of wall time must move the clock by roughly that much. *)
+  Alcotest.(check bool) "clock tracks wall time" true (t1 - t0 > 1_000_000)
+
+let test_cpu_probes () =
+  Alcotest.(check bool) "num_cpus >= 1" true (Tsc.num_cpus () >= 1);
+  let cpu = Tsc.current_cpu () in
+  Alcotest.(check bool) "current_cpu sane" true (cpu >= -1);
+  (* Affinity is best-effort; the call must not raise either way. *)
+  ignore (Tsc.set_affinity 0 : bool)
+
+let test_names () =
+  Alcotest.(check bool) "host name set" true (String.length Clock.Host.name > 0);
+  Alcotest.(check string) "mono name" "mono" Clock.Mono.name
+
+let suite =
+  [
+    ("mono increases", `Quick, test_mono_increases);
+    ("serialized ticks nondecreasing", `Quick, test_ticks_nondecreasing);
+    ("calibration", `Quick, test_calibration);
+    ("ticks_to_ns", `Quick, test_ticks_to_ns);
+    ("host clock monotonic", `Quick, test_host_clock_monotonic);
+    ("host clock advances", `Quick, test_host_clock_advances);
+    ("cpu probes", `Quick, test_cpu_probes);
+    ("backend names", `Quick, test_names);
+  ]

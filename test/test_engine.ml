@@ -1,0 +1,293 @@
+(* Simulator engine: cell semantics, virtual time, determinism, clock skew,
+   contention serialization, SMT slowdown, cross-run line reset. *)
+
+module Machine = Ordo_sim.Machine
+module Engine = Ordo_sim.Engine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Topology = Ordo_util.Topology
+
+let tiny =
+  (* 2 sockets x 4 cores x 2 SMT, no noise: exact arithmetic in tests. *)
+  Machine.make
+    { Topology.name = "tiny"; sockets = 2; cores_per_socket = 4; smt = 2; ghz = 2.0 }
+    ~noise_prob:0.0 ~core_jitter_ns:0
+    ~socket_reset_ns:[| 0; 100 |]
+
+let test_outside_sim_direct () =
+  let c = R.cell 5 in
+  Alcotest.(check int) "read" 5 (R.read c);
+  R.write c 7;
+  Alcotest.(check int) "write" 7 (R.read c);
+  Alcotest.(check bool) "cas ok" true (R.cas c 7 9);
+  Alcotest.(check bool) "cas stale" false (R.cas c 7 9);
+  Alcotest.(check int) "faa" 9 (R.fetch_add c 3);
+  Alcotest.(check int) "xchg" 12 (R.exchange c 1);
+  Alcotest.(check int) "final" 1 (R.read c);
+  Alcotest.(check bool) "not in simulation" false (Engine.in_simulation ())
+
+let test_setup_clock_moves () =
+  let a = R.get_time () in
+  let b = R.get_time () in
+  Alcotest.(check bool) "setup clock advances" true (b > a)
+
+let test_time_advances () =
+  let elapsed = ref 0 in
+  let stats =
+    Sim.run tiny ~threads:1 (fun _ ->
+        let t0 = R.now () in
+        R.work 1_000;
+        elapsed := R.now () - t0)
+  in
+  Alcotest.(check bool) "work advances virtual time" true (!elapsed >= 1_000);
+  Alcotest.(check bool) "end_vtime covers it" true (stats.Engine.end_vtime >= 1_000)
+
+let test_cell_ops_in_sim () =
+  let c = R.cell 0 in
+  let observed = ref (-1) in
+  ignore
+    (Sim.run tiny ~threads:1 (fun _ ->
+         R.write c 10;
+         ignore (R.fetch_add c 5);
+         if R.cas c 15 20 then observed := R.read c));
+  Alcotest.(check int) "sequence of ops" 20 !observed
+
+let test_faa_no_lost_updates () =
+  let c = R.cell 0 in
+  let threads = 8 and per = 500 in
+  ignore
+    (Sim.run tiny ~threads (fun _ ->
+         for _ = 1 to per do
+           ignore (R.fetch_add c 1)
+         done));
+  Alcotest.(check int) "all increments applied" (threads * per) (R.read c)
+
+let test_cas_single_winner () =
+  (* Exactly one CAS from the initial value may succeed. *)
+  let c = R.cell 0 in
+  let winners = R.cell 0 in
+  ignore
+    (Sim.run tiny ~threads:8 (fun i ->
+         if R.cas c 0 (i + 1) then ignore (R.fetch_add winners 1)));
+  Alcotest.(check int) "one winner" 1 (R.read winners);
+  Alcotest.(check bool) "value from winner" true (R.read c > 0)
+
+let test_determinism () =
+  let run () =
+    let c = R.cell 0 in
+    let stats =
+      Sim.run tiny ~threads:6 (fun _ ->
+          while R.now () < 20_000 do
+            ignore (R.fetch_add c 1)
+          done)
+    in
+    (R.read c, stats.Engine.events, stats.Engine.end_vtime)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical replay" true (a = b)
+
+let test_clock_skew () =
+  (* Socket 1 of [tiny] reset 100 ns late: its clock reads behind. *)
+  let t0 = ref 0 and t1 = ref 0 in
+  ignore
+    (Sim.run_on tiny
+       [ (0, fun () -> t0 := R.get_time ()); (4, fun () -> t1 := R.get_time ()) ]);
+  let diff = !t0 - !t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "socket-1 clock behind by ~100 (diff %d)" diff)
+    true
+    (diff > 60 && diff < 140)
+
+let test_get_time_monotonic_per_core () =
+  let ok = ref true in
+  ignore
+    (Sim.run tiny ~threads:4 (fun _ ->
+         let prev = ref 0 in
+         for _ = 1 to 200 do
+           let t = R.get_time () in
+           if t <= !prev then ok := false;
+           prev := t
+         done));
+  Alcotest.(check bool) "strictly increasing per core" true !ok
+
+let test_rmw_serializes () =
+  (* N threads hammering one line must take at least N * service time. *)
+  let c = R.cell 0 in
+  let threads = 8 and per = 100 in
+  let stats =
+    Sim.run tiny ~threads (fun _ ->
+        for _ = 1 to per do
+          ignore (R.fetch_add c 1)
+        done)
+  in
+  let min_serial = threads * per * tiny.Machine.atomic_ns in
+  Alcotest.(check bool)
+    (Printf.sprintf "contended RMWs serialize (%d >= %d)" stats.Engine.end_vtime min_serial)
+    true
+    (stats.Engine.end_vtime >= min_serial)
+
+let test_private_work_parallel () =
+  (* The same amount of *private* work must not serialize. *)
+  let stats = Sim.run tiny ~threads:4 (fun _ -> R.work 10_000) in
+  Alcotest.(check bool) "parallel work overlaps" true (stats.Engine.end_vtime < 20_000)
+
+let test_smt_slowdown () =
+  (* Two threads on the same physical core run slower than on distinct
+     cores. *)
+  let solo = Sim.run_on tiny [ (0, fun () -> R.work 10_000) ] in
+  let shared =
+    Sim.run_on tiny [ (0, fun () -> R.work 10_000); (8, fun () -> R.work 10_000) ]
+  in
+  Alcotest.(check bool) "SMT sibling slows compute" true
+    (shared.Engine.end_vtime > solo.Engine.end_vtime + 2_000)
+
+let test_lines_reset_between_runs () =
+  (* A line's busy-until from run 1 must not stall run 2. *)
+  let c = R.cell 0 in
+  ignore
+    (Sim.run tiny ~threads:4 (fun _ ->
+         for _ = 1 to 1000 do
+           ignore (R.fetch_add c 1)
+         done));
+  let stats = Sim.run tiny ~threads:1 (fun _ -> ignore (R.fetch_add c 1)) in
+  Alcotest.(check bool) "fresh run starts at time ~0" true (stats.Engine.end_vtime < 1_000)
+
+let test_reader_waits_for_writer () =
+  (* The one-way handoff costs at least transfer out + transfer back. *)
+  let c = R.cell 0 in
+  let seen_at = ref 0 in
+  ignore
+    (Sim.run_on tiny
+       [
+         (0, fun () -> R.write c 1);
+         ( 4,
+           fun () ->
+             while R.read c = 0 do
+               R.pause ()
+             done;
+             seen_at := R.now () );
+       ]);
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-socket handoff >= cross_ns (saw %d)" !seen_at)
+    true
+    (!seen_at >= tiny.Machine.cross_ns)
+
+let test_run_validation () =
+  Alcotest.check_raises "out-of-range hw thread"
+    (Invalid_argument "Engine.run: hardware thread out of range") (fun () ->
+      ignore (Sim.run_on tiny [ (1000, fun () -> ()) ]));
+  Alcotest.check_raises "duplicate hw thread"
+    (Invalid_argument "Engine.run: duplicate hardware thread") (fun () ->
+      ignore (Sim.run_on tiny [ (0, Fun.id); (0, Fun.id) ]))
+
+let test_machine_presets () =
+  List.iter
+    (fun (m : Machine.t) ->
+      Alcotest.(check bool) "latency ordering l1 < llc < cross" true
+        (m.Machine.l1_ns < m.Machine.llc_ns && m.Machine.llc_ns < m.Machine.cross_ns))
+    Machine.presets;
+  Alcotest.(check bool) "by_name finds xeon" true (Machine.by_name "xeon" <> None);
+  Alcotest.(check bool) "by_name misses unknown" true (Machine.by_name "cray" = None)
+
+let test_transfer_symmetric () =
+  let m = Machine.xeon in
+  for a = 0 to 40 do
+    for b = 0 to 40 do
+      Alcotest.(check int)
+        (Printf.sprintf "transfer %d<->%d" a b)
+        (Machine.transfer_ns m a b) (Machine.transfer_ns m b a)
+    done
+  done
+
+(* Model-based property: a random single-thread program of cell ops run
+   inside the simulator returns exactly what a pure reference returns —
+   pins the semantics of every op, including the direct fast paths. *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+type op_kind = ORead | OWrite of int | OCas of int * int | OFaa of int | OXchg of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return ORead;
+        map (fun v -> OWrite v) (int_range 0 100);
+        map2 (fun a b -> OCas (a, b)) (int_range 0 10) (int_range 0 100);
+        map (fun v -> OFaa v) (int_range (-5) 5);
+        map (fun v -> OXchg v) (int_range 0 100);
+      ])
+
+let cell_ops_match_reference =
+  qtest "sim cell ops match pure reference"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 3) op_gen))
+    (fun program ->
+      (* Reference: plain ints (CAS compares values, which coincides with
+         physical equality for small OCaml ints). *)
+      let reference = Array.make 4 0 in
+      let expected =
+        List.map
+          (fun (idx, op) ->
+            match op with
+            | ORead -> reference.(idx)
+            | OWrite v ->
+              reference.(idx) <- v;
+              0
+            | OCas (exp, des) ->
+              if reference.(idx) = exp then begin
+                reference.(idx) <- des;
+                1
+              end
+              else 0
+            | OFaa d ->
+              let old = reference.(idx) in
+              reference.(idx) <- old + d;
+              old
+            | OXchg v ->
+              let old = reference.(idx) in
+              reference.(idx) <- v;
+              old)
+          program
+      in
+      let cells = Array.init 4 (fun _ -> R.cell 0) in
+      let actual = ref [] in
+      ignore
+        (Sim.run tiny ~threads:1 (fun _ ->
+             List.iter
+               (fun (idx, op) ->
+                 let r =
+                   match op with
+                   | ORead -> R.read cells.(idx)
+                   | OWrite v ->
+                     R.write cells.(idx) v;
+                     0
+                   | OCas (exp, des) -> if R.cas cells.(idx) exp des then 1 else 0
+                   | OFaa d -> R.fetch_add cells.(idx) d
+                   | OXchg v -> R.exchange cells.(idx) v
+                 in
+                 actual := r :: !actual)
+               program));
+      List.rev !actual = expected
+      && Array.for_all2 (fun c v -> R.read c = v) cells reference)
+
+let suite =
+  [
+    ("outside-sim direct ops", `Quick, test_outside_sim_direct);
+    cell_ops_match_reference;
+    ("setup clock moves", `Quick, test_setup_clock_moves);
+    ("work advances time", `Quick, test_time_advances);
+    ("cell ops in sim", `Quick, test_cell_ops_in_sim);
+    ("faa no lost updates", `Quick, test_faa_no_lost_updates);
+    ("cas single winner", `Quick, test_cas_single_winner);
+    ("deterministic replay", `Quick, test_determinism);
+    ("clock skew per socket", `Quick, test_clock_skew);
+    ("clock monotonic per core", `Quick, test_get_time_monotonic_per_core);
+    ("rmw serializes", `Quick, test_rmw_serializes);
+    ("private work parallel", `Quick, test_private_work_parallel);
+    ("smt slowdown", `Quick, test_smt_slowdown);
+    ("lines reset between runs", `Quick, test_lines_reset_between_runs);
+    ("reader waits for writer", `Quick, test_reader_waits_for_writer);
+    ("run validation", `Quick, test_run_validation);
+    ("machine presets sane", `Quick, test_machine_presets);
+    ("transfer symmetric", `Quick, test_transfer_symmetric);
+  ]

@@ -1,0 +1,71 @@
+(* Event-heap ordering properties: min extraction by time, FIFO on ties. *)
+
+module Heap = Ordo_sim.Heap
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop None" true (Heap.pop h = None);
+  Alcotest.(check bool) "min_time None" true (Heap.min_time h = None)
+
+let test_single () =
+  let h = Heap.create () in
+  Heap.push h ~time:42 "x";
+  Alcotest.(check int) "size" 1 (Heap.size h);
+  Alcotest.(check bool) "min_time" true (Heap.min_time h = Some 42);
+  Alcotest.(check bool) "pop" true (Heap.pop h = Some (42, "x"));
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let pops_sorted =
+  qtest "pops come out sorted by time"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (t, ()) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+let fifo_on_ties =
+  qtest "equal times pop in insertion order"
+    QCheck2.Gen.(int_range 1 100)
+    (fun n ->
+      let h = Heap.create () in
+      for i = 0 to n - 1 do
+        Heap.push h ~time:5 i
+      done;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (_, i) -> drain (i :: acc)
+      in
+      drain [] = List.init n Fun.id)
+
+let interleaved_push_pop =
+  qtest "min_time always matches the next pop"
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 100))
+    (fun times ->
+      let h = Heap.create () in
+      let ok = ref true in
+      List.iter
+        (fun t ->
+          Heap.push h ~time:t ();
+          (match (Heap.min_time h, Heap.pop h) with
+          | Some m, Some (t', ()) -> if m <> t' then ok := false
+          | _ -> ok := false);
+          Heap.push h ~time:(t + 1) ())
+        times;
+      !ok)
+
+let suite =
+  [
+    ("empty heap", `Quick, test_empty);
+    ("single element", `Quick, test_single);
+    pops_sorted;
+    fifo_on_ties;
+    interleaved_push_pop;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "ordo"
+    [
+      ("util", Test_util.suite);
+      ("heap", Test_heap.suite);
+      ("clock", Test_clock.suite);
+      ("engine", Test_engine.suite);
+      ("runtime", Test_runtime.suite);
+      ("ordo-core", Test_ordo_core.suite);
+      ("rlu", Test_rlu.suite);
+      ("oplog", Test_oplog.suite);
+      ("stm", Test_stm.suite);
+      ("db", Test_db.suite);
+      ("shapes", Test_shapes.suite);
+    ]

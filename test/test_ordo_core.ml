@@ -1,0 +1,287 @@
+(* The Ordo primitive itself: cmp/new_time semantics, the Figure 4 offset
+   measurement and its soundness invariant (measured boundary dominates the
+   physical skew), and the timestamp sources. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Ordo = Ordo_core.Ordo
+module Boundary = Ordo_core.Boundary
+module Timestamp = Ordo_core.Timestamp
+module Topology = Ordo_util.Topology
+
+module O100 = Ordo.Make (R) (struct let boundary = 100 end)
+
+let test_cmp_time () =
+  Alcotest.(check int) "certainly after" 1 (O100.cmp_time 301 200);
+  Alcotest.(check int) "certainly before" (-1) (O100.cmp_time 200 301);
+  Alcotest.(check int) "uncertain (+)" 0 (O100.cmp_time 300 200);
+  Alcotest.(check int) "uncertain (-)" 0 (O100.cmp_time 200 300);
+  Alcotest.(check int) "equal uncertain" 0 (O100.cmp_time 200 200)
+
+let test_cmp_time_saturates () =
+  (* Sentinel comparisons near max_int must not overflow. *)
+  Alcotest.(check int) "vs max_int" (-1) (O100.cmp_time 5 max_int);
+  Alcotest.(check int) "max_int vs small" 1 (O100.cmp_time max_int 5);
+  Alcotest.(check int) "max_int vs max_int" 0 (O100.cmp_time max_int max_int)
+
+let test_negative_boundary_rejected () =
+  Alcotest.check_raises "negative boundary" (Invalid_argument "Ordo.Make: negative boundary")
+    (fun () ->
+      let module Bad = Ordo.Make (R) (struct let boundary = -1 end) in
+      ignore Bad.boundary)
+
+let test_new_time_exceeds () =
+  let result = ref 0 and base = ref 0 in
+  ignore
+    (Sim.run Machine.xeon ~threads:1 (fun _ ->
+         let module O = Ordo.Make (R) (struct let boundary = 300 end) in
+         base := O.get_time ();
+         result := O.new_time !base));
+  Alcotest.(check bool) "new_time > t + boundary" true (!result > !base + 300)
+
+let test_new_time_cmp_consistent () =
+  ignore
+    (Sim.run Machine.xeon ~threads:1 (fun _ ->
+         let module O = Ordo.Make (R) (struct let boundary = 300 end) in
+         let t = O.get_time () in
+         let nt = O.new_time t in
+         if O.cmp_time nt t <> 1 then Alcotest.fail "new_time not certainly after"))
+
+(* ---- Figure 4 measurement ---- *)
+
+let skewed sockets cores reset =
+  Machine.make
+    { Topology.name = "skewed"; sockets; cores_per_socket = cores; smt = 1; ghz = 2.0 }
+    ~socket_reset_ns:reset ~core_jitter_ns:0 ~noise_prob:0.02
+
+let test_offsets_positive () =
+  (* The paper never observed a negative measured offset: the one-way
+     delay dominates the skew on every preset. *)
+  List.iter
+    (fun m ->
+      let module E = (val Sim.exec m) in
+      let module B = Boundary.Make (E) in
+      let topo = m.Machine.topo in
+      let last = Topology.total_threads topo - 1 in
+      List.iter
+        (fun (w, r) ->
+          let d = B.clock_offset ~runs:60 ~writer:w ~reader:r () in
+          if d <= 0 then
+            Alcotest.failf "non-positive offset %d on %s (%d->%d)" d topo.Topology.name w r)
+        [ (0, 1); (1, 0); (0, last); (last, 0) ])
+    Machine.presets
+
+let test_boundary_invariant () =
+  (* Soundness: the measured global offset must exceed the largest
+     physical skew between any two cores — the paper's Section 3.2
+     invariant, on a machine with a huge 500 ns skew. *)
+  let m = skewed 2 3 [| 0; 500 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let measured = B.measure ~runs:60 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary %d > physical skew 500" measured)
+    true (measured > 500)
+
+let test_pair_offset_max_of_directions () =
+  let m = skewed 2 2 [| 0; 200 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let ab = B.clock_offset ~runs:40 ~writer:0 ~reader:2 () in
+  let ba = B.clock_offset ~runs:40 ~writer:2 ~reader:0 () in
+  Alcotest.(check int) "pair = max of both directions" (max ab ba) (B.pair_offset ~runs:40 0 2)
+
+let test_offset_asymmetry_reveals_skew () =
+  (* δij - δji ≈ 2 * skew: the asymmetric heatmap of Figure 9(d). *)
+  let m = skewed 2 2 [| 0; 400 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let from_late = B.clock_offset ~runs:60 ~writer:2 ~reader:0 () in
+  let from_early = B.clock_offset ~runs:60 ~writer:0 ~reader:2 () in
+  let gap = from_late - from_early in
+  Alcotest.(check bool)
+    (Printf.sprintf "asymmetry ~2*400 (got %d)" gap)
+    true
+    (gap > 600 && gap < 1000)
+
+let test_offset_matrix_shape () =
+  let m = skewed 1 4 [| 0 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let mat = B.offset_matrix ~runs:20 () in
+  Alcotest.(check int) "square" 4 (Array.length mat);
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check int) "row width" 4 (Array.length row);
+      Alcotest.(check int) "zero diagonal" 0 row.(i))
+    mat
+
+let test_same_core_offset_zero () =
+  let m = skewed 1 2 [| 0 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  Alcotest.(check int) "self offset" 0 (B.clock_offset ~writer:1 ~reader:1 ())
+
+let test_min_of_runs_tightens () =
+  (* More runs can only lower (or keep) the measured offset: the min
+     filters interrupt-style noise — the paper's rationale for 100k runs. *)
+  let m = skewed 2 2 [| 0; 50 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let few = B.clock_offset ~runs:3 ~writer:0 ~reader:2 () in
+  let many = B.clock_offset ~runs:200 ~writer:0 ~reader:2 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "min over runs non-increasing (%d -> %d)" few many)
+    true (many <= few)
+
+(* ---- timestamp sources ---- *)
+
+let test_logical_source () =
+  let module L = Timestamp.Logical (R) () in
+  Alcotest.(check int) "boundary 0" 0 L.boundary;
+  let a = L.advance () in
+  let b = L.advance () in
+  Alcotest.(check bool) "advance strictly increases" true (b > a);
+  Alcotest.(check bool) "after exceeds arg" true (L.after (b + 10) > b + 10);
+  Alcotest.(check int) "cmp is compare" (-1) (L.cmp 1 2)
+
+let test_logical_unique_across_threads () =
+  let module L = Timestamp.Logical (R) () in
+  let threads = 6 and per = 100 in
+  let all = Array.make (threads * per) 0 in
+  ignore
+    (Sim.run Machine.xeon ~threads (fun i ->
+         for j = 0 to per - 1 do
+           all.((i * per) + j) <- L.advance ()
+         done));
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate logical timestamp"
+  done
+
+let test_generative_logical_independent () =
+  let module A = Timestamp.Logical (R) () in
+  let module B = Timestamp.Logical (R) () in
+  ignore (A.advance ());
+  ignore (A.advance ());
+  Alcotest.(check int) "fresh counter" 2 (B.advance ())
+
+let test_ordo_source () =
+  ignore
+    (Sim.run Machine.xeon ~threads:1 (fun _ ->
+         let module O = Ordo.Make (R) (struct let boundary = 300 end) in
+         let module S = Timestamp.Ordo_source (O) in
+         if S.boundary <> 300 then Alcotest.fail "boundary";
+         let t = S.get () in
+         let t' = S.after t in
+         if S.cmp t' t <> 1 then Alcotest.fail "after not certainly newer"))
+
+let test_raw_source () =
+  let module Raw = Timestamp.Raw (R) in
+  Alcotest.(check int) "raw boundary 0" 0 Raw.boundary;
+  ignore
+    (Sim.run Machine.xeon ~threads:1 (fun _ ->
+         let a = Raw.get () in
+         let b = Raw.get () in
+         if b <= a then Alcotest.fail "raw clock must advance"))
+
+let test_order_helpers () =
+  let module Exact = Timestamp.Order (struct
+    let boundary = 0
+    let cmp = compare
+  end) in
+  Alcotest.(check bool) "exact: equal counts as after" true (Exact.certainly_after 5 5);
+  Alcotest.(check bool) "exact: equal counts as before" true (Exact.certainly_before 5 5);
+  let module Fuzzy = Timestamp.Order (struct
+    let boundary = 100
+    let cmp t1 t2 = if t1 > t2 + 100 then 1 else if t1 + 100 < t2 then -1 else 0
+  end) in
+  Alcotest.(check bool) "fuzzy: equal is uncertain" false (Fuzzy.certainly_after 5 5);
+  Alcotest.(check bool) "fuzzy: far after" true (Fuzzy.certainly_after 500 5);
+  Alcotest.(check bool) "fuzzy: far before" true (Fuzzy.certainly_before 5 500)
+
+(* ---- per-pair boundaries (Section 7 alternative) ---- *)
+
+let test_pair_matrix_symmetric () =
+  let m = skewed 2 2 [| 0; 300 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let table = B.pair_matrix ~runs:30 () in
+  let n = Array.length table in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Alcotest.(check int) "symmetric" table.(j).(i) table.(i).(j)
+    done;
+    Alcotest.(check int) "zero diagonal" 0 table.(i).(i)
+  done
+
+let test_pairwise_tightens () =
+  (* Intra-socket pairs get a much smaller window than the global bound. *)
+  let m = skewed 2 2 [| 0; 400 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let table = B.pair_matrix ~runs:60 () in
+  let module P = Ordo_core.Pairwise.Make (R) (struct let table = table end) in
+  Alcotest.(check bool) "intra-socket < global" true
+    (P.boundary 0 1 < P.global_boundary / 2);
+  (* An intra-socket gap that the global boundary calls uncertain is
+     certain under the pair boundary. *)
+  let t1 = 1_000_000 in
+  let gap = (P.boundary 0 1 + P.global_boundary) / 2 in
+  Alcotest.(check int) "pairwise orders it" 1 (P.cmp_time ~c1:0 (t1 + gap) ~c2:1 t1);
+  let module G = Ordo.Make (R) (struct let boundary = P.global_boundary end) in
+  Alcotest.(check int) "global is uncertain" 0 (G.cmp_time (t1 + gap) t1)
+
+let test_pairwise_validation () =
+  Alcotest.check_raises "asymmetric rejected" (Invalid_argument "Pairwise.Make: table not symmetric")
+    (fun () ->
+      let module _ =
+        Ordo_core.Pairwise.Make
+          (R)
+          (struct
+            let table = [| [| 0; 5 |]; [| 7; 0 |] |]
+          end)
+      in
+      ())
+
+let test_pairwise_new_time () =
+  let m = skewed 2 2 [| 0; 200 |] in
+  let module E = (val Sim.exec m) in
+  let module B = Boundary.Make (E) in
+  let table = B.pair_matrix ~runs:30 () in
+  ignore
+    (Sim.run m ~threads:2 (fun i ->
+         if i = 0 then begin
+           let module P = Ordo_core.Pairwise.Make (R) (struct let table = table end) in
+           let t = P.get_time () in
+           let nt = P.new_time ~c_from:1 t in
+           if P.cmp_time ~c1:0 nt ~c2:1 t <> 1 then Alcotest.fail "pairwise new_time not certain"
+         end))
+
+let suite =
+  [
+    ("cmp_time", `Quick, test_cmp_time);
+    ("pair matrix symmetric", `Quick, test_pair_matrix_symmetric);
+    ("pairwise tightens windows", `Quick, test_pairwise_tightens);
+    ("pairwise table validation", `Quick, test_pairwise_validation);
+    ("pairwise new_time", `Quick, test_pairwise_new_time);
+    ("cmp_time saturates", `Quick, test_cmp_time_saturates);
+    ("negative boundary rejected", `Quick, test_negative_boundary_rejected);
+    ("new_time exceeds boundary", `Quick, test_new_time_exceeds);
+    ("new_time/cmp consistent", `Quick, test_new_time_cmp_consistent);
+    ("offsets always positive", `Quick, test_offsets_positive);
+    ("boundary soundness invariant", `Quick, test_boundary_invariant);
+    ("pair offset = max of directions", `Quick, test_pair_offset_max_of_directions);
+    ("asymmetry reveals skew", `Quick, test_offset_asymmetry_reveals_skew);
+    ("offset matrix shape", `Quick, test_offset_matrix_shape);
+    ("self offset zero", `Quick, test_same_core_offset_zero);
+    ("min over runs tightens", `Quick, test_min_of_runs_tightens);
+    ("logical source", `Quick, test_logical_source);
+    ("logical unique across threads", `Quick, test_logical_unique_across_threads);
+    ("generative logical instances", `Quick, test_generative_logical_independent);
+    ("ordo source", `Quick, test_ordo_source);
+    ("raw source", `Quick, test_raw_source);
+    ("order helpers", `Quick, test_order_helpers);
+  ]

@@ -1,0 +1,350 @@
+(* RLU: object semantics, abort/undo, deferral, snapshot atomicity under
+   concurrency (sim), set/hash-table correctness, and a real-domain smoke. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Rng = Ordo_util.Rng
+
+let tiny =
+  Machine.make
+    { Ordo_util.Topology.name = "tiny"; sockets = 2; cores_per_socket = 4; smt = 1; ghz = 2.0 }
+    ~socket_reset_ns:[| 0; 120 |] ~noise_prob:0.0 ~core_jitter_ns:0
+
+(* Instantiate both flavors for every test. *)
+module Logical = Ordo_core.Timestamp.Logical (R) ()
+module O = Ordo_core.Ordo.Make (R) (struct let boundary = 400 end)
+module Ordo_ts = Ordo_core.Timestamp.Ordo_source (O)
+
+let flavors :
+    (string * (module Ordo_core.Timestamp.S)) list =
+  [ ("logical", (module Logical)); ("ordo", (module Ordo_ts)) ]
+
+let for_each_flavor f () =
+  List.iter (fun (name, ts) -> f name ts) flavors
+
+(* ---- basic object protocol ---- *)
+
+let basic_protocol _name (module T : Ordo_core.Timestamp.S) =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
+  let t = Rlu.create ~threads:1 () in
+  let o = Rlu.obj 10 in
+  Rlu.reader_lock t;
+  Alcotest.(check int) "initial deref" 10 (Rlu.deref t o);
+  Alcotest.(check bool) "update stages" true (Rlu.try_update t o (fun v -> v + 1));
+  Alcotest.(check int) "sees own copy" 11 (Rlu.deref t o);
+  Rlu.reader_unlock t;
+  Rlu.reader_lock t;
+  Alcotest.(check int) "committed" 11 (Rlu.deref t o);
+  Rlu.reader_unlock t;
+  Alcotest.(check int) "one commit" 1 (Rlu.stats_commits t)
+
+let abort_restores _name (module T : Ordo_core.Timestamp.S) =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
+  let t = Rlu.create ~threads:1 () in
+  let o = Rlu.obj 5 in
+  Rlu.reader_lock t;
+  ignore (Rlu.try_update t o (fun v -> v * 100));
+  Alcotest.(check int) "staged" 500 (Rlu.deref t o);
+  Rlu.abort t;
+  Rlu.reader_lock t;
+  Alcotest.(check int) "abort undid the update" 5 (Rlu.deref t o);
+  Rlu.reader_unlock t;
+  Alcotest.(check int) "abort counted" 1 (Rlu.stats_aborts t)
+
+let multi_update_composes _name (module T : Ordo_core.Timestamp.S) =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
+  let t = Rlu.create ~threads:1 () in
+  let o = Rlu.obj 0 in
+  Rlu.reader_lock t;
+  ignore (Rlu.try_update t o (fun v -> v + 1));
+  ignore (Rlu.try_update t o (fun v -> v + 10));
+  Alcotest.(check int) "composed in section" 11 (Rlu.deref t o);
+  Rlu.reader_unlock t;
+  Rlu.reader_lock t;
+  Alcotest.(check int) "composed after commit" 11 (Rlu.deref t o);
+  Rlu.reader_unlock t
+
+let conflict_returns_false () =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (Logical) in
+  let t = Rlu.create ~threads:2 () in
+  let o = Rlu.obj 0 in
+  let second_failed = ref false in
+  (* Thread 0 holds the object (deferred), thread 1 must fail to lock. *)
+  let holder_done = R.cell false in
+  ignore
+    (Sim.run tiny ~threads:2 (fun i ->
+         if i = 0 then begin
+           Rlu.reader_lock t;
+           ignore (Rlu.try_update t o (fun v -> v + 1));
+           while not (R.read holder_done) do
+             R.pause ()
+           done;
+           Rlu.reader_unlock t
+         end
+         else begin
+           Rlu.reader_lock t;
+           second_failed := not (Rlu.try_update t o (fun v -> v + 1));
+           Rlu.abort t;
+           R.write holder_done true
+         end));
+  Alcotest.(check bool) "conflicting update fails" true !second_failed
+
+let deferral_flushes () =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (Logical) in
+  let t = Rlu.create ~defer:3 ~threads:1 () in
+  let o = Rlu.obj 0 in
+  let update () =
+    Rlu.reader_lock t;
+    ignore (Rlu.try_update t o (fun v -> v + 1));
+    Rlu.reader_unlock t
+  in
+  update ();
+  update ();
+  (* Two deferred commits: no quiescence yet. *)
+  Alcotest.(check int) "syncs deferred" 0 (Rlu.stats_syncs t);
+  update ();
+  Alcotest.(check int) "third commit flushes" 1 (Rlu.stats_syncs t);
+  Rlu.reader_lock t;
+  Alcotest.(check int) "all updates applied" 3 (Rlu.deref t o);
+  Rlu.reader_unlock t
+
+let explicit_flush () =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (Logical) in
+  let t = Rlu.create ~defer:100 ~threads:1 () in
+  let o = Rlu.obj 0 in
+  Rlu.reader_lock t;
+  ignore (Rlu.try_update t o (fun v -> v + 7));
+  Rlu.reader_unlock t;
+  Rlu.flush t;
+  Alcotest.(check int) "flush ran one sync" 1 (Rlu.stats_syncs t);
+  Rlu.reader_lock t;
+  Alcotest.(check int) "value visible" 7 (Rlu.deref t o);
+  Rlu.reader_unlock t
+
+(* Atomicity: writers move value between two objects keeping the sum
+   constant; every reader snapshot must see the invariant. *)
+let snapshot_atomicity _name (module T : Ordo_core.Timestamp.S) =
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
+  let threads = 6 in
+  let t = Rlu.create ~threads () in
+  let a = Rlu.obj 500 and b = Rlu.obj 500 in
+  let violations = ref 0 in
+  ignore
+    (Sim.run tiny ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 1)) () in
+         if i < 2 then
+           (* writers *)
+           while R.now () < 150_000 do
+             Rlu.reader_lock t;
+             let amount = Rng.int rng 50 in
+             if
+               Rlu.try_update t a (fun v -> v - amount)
+               && Rlu.try_update t b (fun v -> v + amount)
+             then Rlu.reader_unlock t
+             else Rlu.abort t
+           done
+         else
+           while R.now () < 150_000 do
+             Rlu.reader_lock t;
+             let va = Rlu.deref t a in
+             let vb = Rlu.deref t b in
+             Rlu.reader_unlock t;
+             if va + vb <> 1000 then incr violations
+           done));
+  Alcotest.(check int) "all snapshots consistent" 0 !violations;
+  Rlu.reader_lock t;
+  Alcotest.(check int) "final sum preserved" 1000 (Rlu.deref t a + Rlu.deref t b);
+  Rlu.reader_unlock t
+
+(* ---- list set ---- *)
+
+let list_semantics _name (module T : Ordo_core.Timestamp.S) =
+  let module L = Ordo_rlu.Rlu_list.Make (R) (T) in
+  let rlu = L.Rlu.create ~threads:1 () in
+  let set = L.create () in
+  Alcotest.(check bool) "add new" true (L.add rlu set 5);
+  Alcotest.(check bool) "add dup" false (L.add rlu set 5);
+  Alcotest.(check bool) "add another" true (L.add rlu set 3);
+  Alcotest.(check bool) "contains 3" true (L.contains rlu set 3);
+  Alcotest.(check bool) "contains 4 not" false (L.contains rlu set 4);
+  Alcotest.(check (list int)) "sorted" [ 3; 5 ] (L.to_list rlu set);
+  Alcotest.(check bool) "remove" true (L.remove rlu set 3);
+  Alcotest.(check bool) "remove absent" false (L.remove rlu set 3);
+  Alcotest.(check (list int)) "after remove" [ 5 ] (L.to_list rlu set);
+  Alcotest.(check int) "size" 1 (L.size rlu set)
+
+let list_randomized _name (module T : Ordo_core.Timestamp.S) =
+  (* Single-threaded fuzz against a reference Set. *)
+  let module L = Ordo_rlu.Rlu_list.Make (R) (T) in
+  let module IS = Set.Make (Int) in
+  let rlu = L.Rlu.create ~threads:1 () in
+  let set = L.create () in
+  let reference = ref IS.empty in
+  let rng = Rng.create ~seed:99L () in
+  for _ = 1 to 2000 do
+    let key = Rng.int rng 50 in
+    match Rng.int rng 3 with
+    | 0 ->
+      let expect = not (IS.mem key !reference) in
+      reference := IS.add key !reference;
+      if L.add rlu set key <> expect then Alcotest.failf "add %d mismatch" key
+    | 1 ->
+      let expect = IS.mem key !reference in
+      reference := IS.remove key !reference;
+      if L.remove rlu set key <> expect then Alcotest.failf "remove %d mismatch" key
+    | _ ->
+      if L.contains rlu set key <> IS.mem key !reference then
+        Alcotest.failf "contains %d mismatch" key
+  done;
+  Alcotest.(check (list int)) "final content" (IS.elements !reference) (L.to_list rlu set)
+
+(* ---- hash table under concurrency ---- *)
+
+let hash_concurrent _name (module T : Ordo_core.Timestamp.S) =
+  let module H = Ordo_rlu.Rlu_hash.Make (R) (T) in
+  let threads = 6 in
+  let t = H.create ~threads ~buckets:16 () in
+  let keyrange = 128 in
+  for k = 0 to (keyrange / 2) - 1 do
+    ignore (H.add t (k * 2))
+  done;
+  let net = Array.make threads 0 in
+  ignore
+    (Sim.run tiny ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 17)) () in
+         while R.now () < 150_000 do
+           let key = Rng.int rng keyrange in
+           if Rng.bool rng then begin
+             if H.add t key then net.(i) <- net.(i) + 1
+           end
+           else if H.remove t key then net.(i) <- net.(i) - 1
+         done));
+  let expected = (keyrange / 2) + Array.fold_left ( + ) 0 net in
+  Alcotest.(check int) "size accounts for every success" expected (H.size t)
+
+let hash_real_domains () =
+  (* True parallelism smoke on the host (however many cores it has). *)
+  let module RR = Ordo_runtime.Real.Runtime in
+  let module LT = Ordo_core.Timestamp.Logical (RR) () in
+  let module H = Ordo_rlu.Rlu_hash.Make (RR) (LT) in
+  let threads = 4 in
+  let t = H.create ~threads ~buckets:8 () in
+  let net = Array.make threads 0 in
+  Ordo_runtime.Real.run ~threads (fun i ->
+      let rng = Rng.create ~seed:(Int64.of_int (i + 3)) () in
+      for _ = 1 to 2000 do
+        let key = Rng.int rng 64 in
+        if Rng.bool rng then begin
+          if H.add t key then net.(i) <- net.(i) + 1
+        end
+        else if H.remove t key then net.(i) <- net.(i) - 1
+      done);
+  Alcotest.(check int) "real-domain size consistent" (Array.fold_left ( + ) 0 net) (H.size t)
+
+let deferred_hash_concurrent () =
+  let module H = Ordo_rlu.Rlu_hash.Make (R) (Logical) in
+  let threads = 4 in
+  let t = H.create ~defer:8 ~threads ~buckets:8 () in
+  let net = Array.make threads 0 in
+  ignore
+    (Sim.run tiny ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 29)) () in
+         while R.now () < 100_000 do
+           let key = Rng.int rng 64 in
+           if Rng.bool rng then begin
+             if H.add t key then net.(i) <- net.(i) + 1
+           end
+           else if H.remove t key then net.(i) <- net.(i) - 1
+         done;
+         H.flush t));
+  Alcotest.(check int) "deferred size consistent" (Array.fold_left ( + ) 0 net) (H.size t)
+
+(* ---- external BST (citrus-tree benchmark structure) ---- *)
+
+let tree_semantics _name (module T : Ordo_core.Timestamp.S) =
+  let module Tr = Ordo_rlu.Rlu_tree.Make (R) (T) in
+  let rlu = Tr.Rlu.create ~threads:1 () in
+  let tree = Tr.create () in
+  Alcotest.(check bool) "empty contains" false (Tr.contains rlu tree 5);
+  Alcotest.(check bool) "add 5" true (Tr.add rlu tree 5);
+  Alcotest.(check bool) "add dup" false (Tr.add rlu tree 5);
+  Alcotest.(check bool) "add 3" true (Tr.add rlu tree 3);
+  Alcotest.(check bool) "add 8" true (Tr.add rlu tree 8);
+  Alcotest.(check (list int)) "sorted" [ 3; 5; 8 ] (Tr.to_list rlu tree);
+  Alcotest.(check bool) "contains 3" true (Tr.contains rlu tree 3);
+  Alcotest.(check bool) "remove 5" true (Tr.remove rlu tree 5);
+  Alcotest.(check bool) "remove absent" false (Tr.remove rlu tree 5);
+  Alcotest.(check (list int)) "after remove" [ 3; 8 ] (Tr.to_list rlu tree);
+  Alcotest.(check bool) "remove 3" true (Tr.remove rlu tree 3);
+  Alcotest.(check bool) "remove 8 (root leaf)" true (Tr.remove rlu tree 8);
+  Alcotest.(check (list int)) "empty again" [] (Tr.to_list rlu tree);
+  Alcotest.(check int) "depth of empty" 0 (Tr.depth rlu tree)
+
+let tree_randomized _name (module T : Ordo_core.Timestamp.S) =
+  let module Tr = Ordo_rlu.Rlu_tree.Make (R) (T) in
+  let module IS = Set.Make (Int) in
+  let rlu = Tr.Rlu.create ~threads:1 () in
+  let tree = Tr.create () in
+  let reference = ref IS.empty in
+  let rng = Rng.create ~seed:77L () in
+  for _ = 1 to 3000 do
+    let key = Rng.int rng 64 in
+    match Rng.int rng 3 with
+    | 0 ->
+      let expect = not (IS.mem key !reference) in
+      reference := IS.add key !reference;
+      if Tr.add rlu tree key <> expect then Alcotest.failf "tree add %d mismatch" key
+    | 1 ->
+      let expect = IS.mem key !reference in
+      reference := IS.remove key !reference;
+      if Tr.remove rlu tree key <> expect then Alcotest.failf "tree remove %d mismatch" key
+    | _ ->
+      if Tr.contains rlu tree key <> IS.mem key !reference then
+        Alcotest.failf "tree contains %d mismatch" key
+  done;
+  Alcotest.(check (list int)) "tree final content" (IS.elements !reference) (Tr.to_list rlu tree)
+
+let tree_concurrent _name (module T : Ordo_core.Timestamp.S) =
+  let module Tr = Ordo_rlu.Rlu_tree.Make (R) (T) in
+  let threads = 6 in
+  let rlu = Tr.Rlu.create ~threads () in
+  let tree = Tr.create () in
+  for k = 0 to 63 do
+    ignore (Tr.add rlu tree (k * 2))
+  done;
+  let net = Array.make threads 0 in
+  ignore
+    (Sim.run tiny ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 61)) () in
+         while R.now () < 150_000 do
+           let key = Rng.int rng 128 in
+           if Rng.bool rng then begin
+             if Tr.add rlu tree key then net.(i) <- net.(i) + 1
+           end
+           else if Tr.remove rlu tree key then net.(i) <- net.(i) - 1
+         done));
+  let expected = 64 + Array.fold_left ( + ) 0 net in
+  Alcotest.(check int) "tree size accounts for every success" expected (Tr.size rlu tree);
+  (* and the structure is still a search tree *)
+  let keys = Tr.to_list rlu tree in
+  Alcotest.(check (list int)) "tree still sorted" (List.sort_uniq compare keys) keys
+
+let suite =
+  [
+    ("basic protocol (both flavors)", `Quick, for_each_flavor basic_protocol);
+    ("abort restores (both flavors)", `Quick, for_each_flavor abort_restores);
+    ("updates compose (both flavors)", `Quick, for_each_flavor multi_update_composes);
+    ("write-write conflict fails", `Quick, conflict_returns_false);
+    ("deferral flushes at limit", `Quick, deferral_flushes);
+    ("explicit flush", `Quick, explicit_flush);
+    ("snapshot atomicity (both flavors)", `Quick, for_each_flavor snapshot_atomicity);
+    ("list semantics (both flavors)", `Quick, for_each_flavor list_semantics);
+    ("list randomized vs reference", `Quick, for_each_flavor list_randomized);
+    ("hash concurrent accounting", `Quick, for_each_flavor hash_concurrent);
+    ("hash on real domains", `Quick, hash_real_domains);
+    ("deferred hash concurrent", `Quick, deferred_hash_concurrent);
+    ("tree semantics (both flavors)", `Quick, for_each_flavor tree_semantics);
+    ("tree randomized vs reference", `Quick, for_each_flavor tree_randomized);
+    ("tree concurrent accounting", `Quick, for_each_flavor tree_concurrent);
+  ]

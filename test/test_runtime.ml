@@ -1,0 +1,180 @@
+(* Runtime substrates: barrier, ticket spinlock, MCS lock — exercised both
+   in the simulator (many threads) and on real domains (true parallelism,
+   however many cores the host has). *)
+
+module SimR = Ordo_sim.Sim.Runtime
+module Sim = Ordo_sim.Sim
+module Machine = Ordo_sim.Machine
+module RealR = Ordo_runtime.Real.Runtime
+
+let tiny =
+  Machine.make
+    { Ordo_util.Topology.name = "tiny"; sockets = 2; cores_per_socket = 4; smt = 1; ghz = 2.0 }
+    ~noise_prob:0.0 ~core_jitter_ns:0
+
+(* ---- barrier ---- *)
+
+let test_barrier_sim () =
+  let module B = Ordo_runtime.Barrier.Make (SimR) in
+  let threads = 6 and rounds = 20 in
+  let barrier = B.create threads in
+  let counter = SimR.cell 0 in
+  let ok = ref true in
+  ignore
+    (Sim.run tiny ~threads (fun _ ->
+         for round = 1 to rounds do
+           ignore (SimR.fetch_add counter 1);
+           B.wait barrier;
+           (* After the barrier, every thread of this round has counted. *)
+           if SimR.read counter < round * threads then ok := false;
+           B.wait barrier
+         done));
+  Alcotest.(check bool) "no thread passed early" true !ok;
+  Alcotest.(check int) "total arrivals" (threads * rounds) (SimR.read counter)
+
+let test_barrier_real () =
+  let module B = Ordo_runtime.Barrier.Make (RealR) in
+  let threads = 4 and rounds = 50 in
+  let barrier = B.create threads in
+  let counter = RealR.cell 0 in
+  let ok = Atomic.make true in
+  Ordo_runtime.Real.run ~threads (fun _ ->
+      for round = 1 to rounds do
+        ignore (RealR.fetch_add counter 1);
+        B.wait barrier;
+        if RealR.read counter < round * threads then Atomic.set ok false;
+        B.wait barrier
+      done);
+  Alcotest.(check bool) "real barrier holds" true (Atomic.get ok)
+
+let test_barrier_invalid () =
+  let module B = Ordo_runtime.Barrier.Make (SimR) in
+  Alcotest.check_raises "parties >= 1" (Invalid_argument "Barrier.create: parties must be >= 1")
+    (fun () -> ignore (B.create 0))
+
+(* ---- mutual exclusion: shared harness ---- *)
+
+(* Increment a plain (non-atomic) pair under the lock; any mutual-exclusion
+   violation shows up as a torn pair or a lost update. *)
+let exercise_sim_lock ~acquire ~release =
+  let a = ref 0 and b = ref 0 in
+  let threads = 8 and per = 200 in
+  ignore
+    (Sim.run tiny ~threads (fun _ ->
+         for _ = 1 to per do
+           acquire ();
+           let va = !a in
+           SimR.work 5;
+           a := va + 1;
+           b := !b + 1;
+           release ()
+         done));
+  Alcotest.(check int) "no lost updates (a)" (threads * per) !a;
+  Alcotest.(check int) "pair consistent (b)" (threads * per) !b
+
+let test_spinlock_sim () =
+  let module L = Ordo_runtime.Spinlock.Make (SimR) in
+  let lock = L.create () in
+  exercise_sim_lock ~acquire:(fun () -> L.acquire lock) ~release:(fun () -> L.release lock)
+
+let test_mcs_sim () =
+  let module L = Ordo_runtime.Mcs.Make (SimR) in
+  let lock = L.create () in
+  let token = ref None in
+  exercise_sim_lock
+    ~acquire:(fun () -> token := Some (L.acquire lock))
+    ~release:(fun () ->
+      match !token with
+      | Some tok ->
+        token := None;
+        L.release lock tok
+      | None -> Alcotest.fail "release without acquire")
+
+let test_mcs_with_lock_sim () =
+  let module L = Ordo_runtime.Mcs.Make (SimR) in
+  let lock = L.create () in
+  let x = ref 0 in
+  ignore
+    (Sim.run tiny ~threads:6 (fun _ ->
+         for _ = 1 to 100 do
+           L.with_lock lock (fun () ->
+               let v = !x in
+               SimR.work 3;
+               x := v + 1)
+         done));
+  Alcotest.(check int) "with_lock excludes" 600 !x
+
+let test_spinlock_try_acquire () =
+  let module L = Ordo_runtime.Spinlock.Make (SimR) in
+  let lock = L.create () in
+  Alcotest.(check bool) "uncontended try succeeds" true (L.try_acquire lock);
+  Alcotest.(check bool) "held try fails" false (L.try_acquire lock);
+  L.release lock;
+  Alcotest.(check bool) "after release try succeeds" true (L.try_acquire lock);
+  L.release lock
+
+let test_spinlock_real () =
+  let module L = Ordo_runtime.Spinlock.Make (RealR) in
+  let lock = L.create () in
+  let x = ref 0 in
+  let threads = 4 and per = 1000 in
+  Ordo_runtime.Real.run ~threads (fun _ ->
+      for _ = 1 to per do
+        L.acquire lock;
+        x := !x + 1;
+        L.release lock
+      done);
+  Alcotest.(check int) "real spinlock excludes" (threads * per) !x
+
+let test_mcs_real () =
+  let module L = Ordo_runtime.Mcs.Make (RealR) in
+  let lock = L.create () in
+  let x = ref 0 in
+  let threads = 4 and per = 1000 in
+  Ordo_runtime.Real.run ~threads (fun _ ->
+      for _ = 1 to per do
+        L.with_lock lock (fun () -> x := !x + 1)
+      done);
+  Alcotest.(check int) "real MCS excludes" (threads * per) !x
+
+(* ---- real runtime basics ---- *)
+
+let test_real_tids () =
+  let seen = Array.make 4 false in
+  Ordo_runtime.Real.run ~threads:4 (fun i ->
+      assert (RealR.tid () = i);
+      seen.(i) <- true);
+  Alcotest.(check bool) "all tids ran" true (Array.for_all Fun.id seen)
+
+let test_real_cells () =
+  let c = RealR.cell 0 in
+  Ordo_runtime.Real.run ~threads:4 (fun _ ->
+      for _ = 1 to 1000 do
+        ignore (RealR.fetch_add c 1)
+      done);
+  Alcotest.(check int) "atomic adds" 4000 (RealR.read c)
+
+let test_real_work_and_time () =
+  let t0 = RealR.now () in
+  RealR.work 2_000_000;
+  let dt = RealR.now () - t0 in
+  Alcotest.(check bool) "work burns about the requested time" true (dt >= 2_000_000);
+  let a = RealR.get_time () in
+  let b = RealR.get_time () in
+  Alcotest.(check bool) "host invariant clock nondecreasing" true (b >= a)
+
+let suite =
+  [
+    ("barrier (sim)", `Quick, test_barrier_sim);
+    ("barrier (real)", `Quick, test_barrier_real);
+    ("barrier invalid", `Quick, test_barrier_invalid);
+    ("spinlock excludes (sim)", `Quick, test_spinlock_sim);
+    ("mcs excludes (sim)", `Quick, test_mcs_sim);
+    ("mcs with_lock (sim)", `Quick, test_mcs_with_lock_sim);
+    ("spinlock try_acquire", `Quick, test_spinlock_try_acquire);
+    ("spinlock excludes (real)", `Quick, test_spinlock_real);
+    ("mcs excludes (real)", `Quick, test_mcs_real);
+    ("real tids", `Quick, test_real_tids);
+    ("real atomic cells", `Quick, test_real_cells);
+    ("real work/time", `Quick, test_real_work_and_time);
+  ]

@@ -1,0 +1,184 @@
+(* Regression pins for the paper's headline *shapes*, at reduced scale so
+   the suite stays fast: who wins, by roughly what factor.  If a model or
+   algorithm change breaks one of the reproduced results, these fail. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Rng = Ordo_util.Rng
+
+let check_ratio name ~at_least actual =
+  if actual < at_least then
+    Alcotest.failf "%s: expected ratio >= %.2f, got %.2f" name at_least actual
+
+(* Closed-loop throughput in ops/us. *)
+let tput ?(warm = 50_000) ?(dur = 150_000) machine ~threads op =
+  let ops = Array.make threads 0 in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 1)) () in
+         while R.now () < warm do
+           op i rng
+         done;
+         while R.now () < warm + dur do
+           op i rng;
+           ops.(i) <- ops.(i) + 1
+         done)
+      : Ordo_sim.Engine.stats);
+  float_of_int (Array.fold_left ( + ) 0 ops) /. (float_of_int dur /. 1000.)
+
+(* Figure 8b: Ordo timestamp generation scales; the atomic clock plateaus. *)
+let test_fig8b_shape () =
+  let m = Machine.xeon in
+  let atomic () =
+    let clock = R.cell 0 in
+    fun _ _ -> ignore (R.fetch_add clock 1)
+  in
+  let ordo () =
+    let module O = Ordo_core.Ordo.Make (R) (struct let boundary = 300 end) in
+    let last = ref 0 in
+    fun _ _ -> last := O.new_time !last
+  in
+  let a = tput m ~threads:60 (atomic ()) in
+  let o = tput m ~threads:60 (ordo ()) in
+  check_ratio "ordo/atomic timestamp rate at 60 threads" ~at_least:5.0 (o /. a);
+  (* and the atomic clock must not scale: 60 threads no better than 2x of 4 *)
+  let a4 = tput m ~threads:4 (atomic ()) in
+  if a > a4 *. 2.0 then
+    Alcotest.failf "atomic clock should plateau (4t=%.1f 60t=%.1f)" a4 a
+
+(* Figures 1/11: RLU_ORDO beats RLU at scale; RLU saturates. *)
+let rlu_op (module TS : Ordo_core.Timestamp.S) ~threads ~update_pct =
+  let module H = Ordo_rlu.Rlu_hash.Make (R) (TS) in
+  let t = H.create ~node_work:200 ~threads ~buckets:128 () in
+  for k = 0 to 511 do
+    ignore (H.add t (k * 2))
+  done;
+  fun _ rng ->
+    let key = Rng.int rng 1024 in
+    if Rng.int rng 100 < update_pct then begin
+      if Rng.bool rng then ignore (H.add t key) else ignore (H.remove t key)
+    end
+    else ignore (H.contains t key)
+
+let test_rlu_shape () =
+  let m = Machine.xeon in
+  let threads = 60 in
+  let logical =
+    let module TS = Ordo_core.Timestamp.Logical (R) () in
+    tput m ~threads (rlu_op (module TS) ~threads ~update_pct:2)
+  in
+  let ordo =
+    let module O = Ordo_core.Ordo.Make (R) (struct let boundary = 300 end) in
+    let module TS = Ordo_core.Timestamp.Ordo_source (O) in
+    tput m ~threads (rlu_op (module TS) ~threads ~update_pct:2)
+  in
+  check_ratio "RLU_ORDO / RLU at 60 threads (2% upd)" ~at_least:1.1 (ordo /. logical)
+
+(* Figure 13: OCC collapses on timestamp allocation; OCC_ORDO recovers to
+   Silo territory. *)
+let ycsb_op (module C : Ordo_db.Cc_intf.S) ~threads =
+  let module Y = Ordo_db.Ycsb.Make (R) (C) in
+  let t = Y.create ~threads () in
+  fun _ rng -> Y.run_tx t rng
+
+let test_fig13_shape () =
+  let m = Machine.xeon in
+  let threads = 60 in
+  let occ =
+    let module TS = Ordo_core.Timestamp.Logical (R) () in
+    let module C = Ordo_db.Occ.Make (R) (TS) in
+    tput m ~threads (ycsb_op (module C) ~threads)
+  in
+  let occ_ordo =
+    let module O = Ordo_core.Ordo.Make (R) (struct let boundary = 300 end) in
+    let module TS = Ordo_core.Timestamp.Ordo_source (O) in
+    let module C = Ordo_db.Occ.Make (R) (TS) in
+    tput m ~threads (ycsb_op (module C) ~threads)
+  in
+  let silo =
+    let module C = Ordo_db.Silo.Make (R) in
+    tput m ~threads (ycsb_op (module C) ~threads)
+  in
+  check_ratio "OCC_ORDO / OCC at 60 threads (YCSB read-only)" ~at_least:4.0 (occ_ordo /. occ);
+  check_ratio "OCC_ORDO vs Silo (within 2x)" ~at_least:0.5 (occ_ordo /. silo)
+
+(* Figure 10: OpLog beats the vanilla rmap; Ordo costs only a few percent
+   over raw clocks. *)
+let exim_op (module M : Ordo_oplog.Rmap.S) ~threads =
+  let module E = Ordo_oplog.Exim.Make (R) (M) in
+  let config = { E.default_config with E.vfs_work_ns = 8_000 } in
+  let t = E.create ~config ~threads ~pages:1024 () in
+  let seqs = Array.make threads 0 in
+  fun i rng ->
+    seqs.(i) <- seqs.(i) + 1;
+    E.deliver t rng seqs.(i)
+
+let test_fig10_shape () =
+  let m = Machine.xeon in
+  let threads = 120 in
+  let dur = 400_000 in
+  let vanilla =
+    let module M = Ordo_oplog.Rmap.Vanilla (R) in
+    tput ~dur m ~threads (exim_op (module M) ~threads)
+  in
+  let raw =
+    let module TS = Ordo_core.Timestamp.Raw (R) in
+    let module M = Ordo_oplog.Rmap.Logged (R) (TS) in
+    tput ~dur m ~threads (exim_op (module M) ~threads)
+  in
+  let ordo =
+    let module O = Ordo_core.Ordo.Make (R) (struct let boundary = 300 end) in
+    let module TS = Ordo_core.Timestamp.Ordo_source (O) in
+    let module M = Ordo_oplog.Rmap.Logged (R) (TS) in
+    tput ~dur m ~threads (exim_op (module M) ~threads)
+  in
+  check_ratio "Oplog / vanilla rmap at 120 threads" ~at_least:1.3 (raw /. vanilla);
+  check_ratio "Oplog_ORDO within 15% of raw Oplog" ~at_least:0.85 (ordo /. raw)
+
+(* Table 1 ranges: the presets must keep producing offsets in the paper's
+   ballpark, with ARM's outlier socket dominating. *)
+let test_tab1_ranges () =
+  let expect = [ ("xeon", 150, 450); ("phi", 120, 350); ("amd", 120, 300); ("arm", 800, 1400) ] in
+  List.iter
+    (fun (name, lo, hi) ->
+      let m = Option.get (Machine.by_name name) in
+      let module E = (val Sim.exec m) in
+      let module B = Ordo_core.Boundary.Make (E) in
+      let total = Ordo_util.Topology.total_threads m.Machine.topo in
+      let physical = Ordo_util.Topology.physical_cores m.Machine.topo in
+      let stride = max 1 (total / 8) in
+      let cores =
+        List.sort_uniq compare
+          ((physical - 1) :: List.filter (fun i -> i mod stride = 0) (List.init total Fun.id))
+      in
+      let b = B.measure ~runs:40 ~cores () in
+      if b < lo || b > hi then
+        Alcotest.failf "%s boundary %d outside [%d, %d]" name b lo hi)
+    expect
+
+(* Figure 16: the boundary is not a backoff knob — scaling it 8x moves
+   RLU_ORDO throughput only slightly at a busy socket count. *)
+let test_fig16_shape () =
+  let m = Machine.xeon in
+  let threads = 30 in
+  let rate boundary =
+    let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
+    let module TS = Ordo_core.Timestamp.Ordo_source (O) in
+    tput m ~threads (rlu_op (module TS) ~threads ~update_pct:2)
+  in
+  let base = rate 286 in
+  let wide = rate (286 * 8) in
+  let delta = Float.abs (wide -. base) /. base in
+  if delta > 0.25 then
+    Alcotest.failf "boundary x8 moved throughput by %.0f%% (expected small)" (delta *. 100.)
+
+let suite =
+  [
+    ("fig8b: ordo scales, atomic plateaus", `Slow, test_fig8b_shape);
+    ("fig1/11: RLU_ORDO wins at scale", `Slow, test_rlu_shape);
+    ("fig13: OCC collapse and recovery", `Slow, test_fig13_shape);
+    ("fig10: oplog beats vanilla", `Slow, test_fig10_shape);
+    ("tab1: boundary ranges", `Slow, test_tab1_ranges);
+    ("fig16: boundary is not a backoff", `Slow, test_fig16_shape);
+  ]

@@ -1,0 +1,232 @@
+(* TL2: transactional semantics, isolation and atomicity under simulated
+   concurrency (both clock flavors), STAMP kernel plumbing, real-domain
+   smoke. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Rng = Ordo_util.Rng
+
+let tiny =
+  Machine.make
+    { Ordo_util.Topology.name = "tiny"; sockets = 2; cores_per_socket = 4; smt = 1; ghz = 2.0 }
+    ~socket_reset_ns:[| 0; 150 |] ~noise_prob:0.0 ~core_jitter_ns:0
+
+module Logical = Ordo_core.Timestamp.Logical (R) ()
+module O = Ordo_core.Ordo.Make (R) (struct let boundary = 400 end)
+module Ordo_ts = Ordo_core.Timestamp.Ordo_source (O)
+
+let flavors : (string * (module Ordo_core.Timestamp.S)) list =
+  [ ("logical", (module Logical)); ("ordo", (module Ordo_ts)) ]
+
+let for_each f () = List.iter (fun (name, ts) -> f name ts) flavors
+
+let basic _name (module T : Ordo_core.Timestamp.S) =
+  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
+  let t = Stm.create ~threads:1 () in
+  let x = Stm.tvar 1 and y = Stm.tvar 2 in
+  let sum = Stm.atomically t (fun tx -> Stm.read tx x + Stm.read tx y) in
+  Alcotest.(check int) "read two" 3 sum;
+  Stm.atomically t (fun tx ->
+      Stm.write tx x 10;
+      Stm.write tx y 20);
+  Alcotest.(check int) "committed x" 10 (Stm.unsafe_load x);
+  Alcotest.(check int) "committed y" 20 (Stm.unsafe_load y);
+  Alcotest.(check int) "two commits" 2 (Stm.stats_commits t)
+
+let read_own_write _name (module T : Ordo_core.Timestamp.S) =
+  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
+  let t = Stm.create ~threads:1 () in
+  let x = Stm.tvar 0 in
+  let observed =
+    Stm.atomically t (fun tx ->
+        Stm.write tx x 5;
+        let a = Stm.read tx x in
+        Stm.write tx x (a + 1);
+        Stm.read tx x)
+  in
+  Alcotest.(check int) "buffered reads" 6 observed;
+  Alcotest.(check int) "committed" 6 (Stm.unsafe_load x)
+
+let polymorphic_tvars () =
+  let module Stm = Ordo_stm.Tl2.Make (R) (Logical) in
+  let t = Stm.create ~threads:1 () in
+  let s = Stm.tvar "hello" and l = Stm.tvar [ 1; 2 ] in
+  Stm.atomically t (fun tx ->
+      Stm.write tx s (Stm.read tx s ^ "!");
+      Stm.write tx l (3 :: Stm.read tx l));
+  Alcotest.(check string) "string tvar" "hello!" (Stm.unsafe_load s);
+  Alcotest.(check (list int)) "list tvar" [ 3; 1; 2 ] (Stm.unsafe_load l)
+
+let nested_rejected () =
+  let module Stm = Ordo_stm.Tl2.Make (R) (Logical) in
+  let t = Stm.create ~threads:1 () in
+  Alcotest.check_raises "nested atomically"
+    (Invalid_argument "Tl2.atomically: nested transactions are not supported") (fun () ->
+      Stm.atomically t (fun _ -> Stm.atomically t (fun _ -> ())))
+
+let counter_isolation _name (module T : Ordo_core.Timestamp.S) =
+  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
+  let threads = 6 and per = 150 in
+  let t = Stm.create ~threads () in
+  let counter = Stm.tvar 0 in
+  ignore
+    (Sim.run tiny ~threads (fun _ ->
+         for _ = 1 to per do
+           Stm.atomically t (fun tx -> Stm.write tx counter (Stm.read tx counter + 1))
+         done));
+  Alcotest.(check int) "no lost increments" (threads * per) (Stm.unsafe_load counter)
+
+let bank_invariant _name (module T : Ordo_core.Timestamp.S) =
+  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
+  let threads = 6 in
+  let accounts = 16 and initial = 100 in
+  let t = Stm.create ~threads () in
+  let bank = Array.init accounts (fun _ -> Stm.tvar initial) in
+  let violations = ref 0 in
+  ignore
+    (Sim.run tiny ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int (i + 11)) () in
+         if i < 4 then
+           while R.now () < 120_000 do
+             (* transfer *)
+             let src = Rng.int rng accounts and dst = Rng.int rng accounts in
+             let amount = Rng.int rng 20 in
+             Stm.atomically t (fun tx ->
+                 Stm.write tx bank.(src) (Stm.read tx bank.(src) - amount);
+                 Stm.write tx bank.(dst) (Stm.read tx bank.(dst) + amount))
+           done
+         else
+           while R.now () < 120_000 do
+             (* auditor *)
+             let total =
+               Stm.atomically t (fun tx ->
+                   Array.fold_left (fun acc a -> acc + Stm.read tx a) 0 bank)
+             in
+             if total <> accounts * initial then incr violations
+           done));
+  Alcotest.(check int) "audits consistent" 0 !violations;
+  let final = Array.fold_left (fun acc a -> acc + Stm.unsafe_load a) 0 bank in
+  Alcotest.(check int) "money conserved" (accounts * initial) final
+
+let aborts_counted () =
+  let module Stm = Ordo_stm.Tl2.Make (R) (Logical) in
+  let threads = 8 in
+  let t = Stm.create ~threads () in
+  let hot = Stm.tvar 0 in
+  ignore
+    (Sim.run tiny ~threads (fun _ ->
+         for _ = 1 to 100 do
+           Stm.atomically t (fun tx ->
+               let v = Stm.read tx hot in
+               R.work 200;
+               Stm.write tx hot (v + 1))
+         done));
+  Alcotest.(check int) "all committed eventually" 800 (Stm.unsafe_load hot);
+  Alcotest.(check bool) "contention produced aborts" true (Stm.stats_aborts t > 0)
+
+let real_domains_smoke () =
+  let module RR = Ordo_runtime.Real.Runtime in
+  let module LT = Ordo_core.Timestamp.Logical (RR) () in
+  let module Stm = Ordo_stm.Tl2.Make (RR) (LT) in
+  let threads = 4 and per = 500 in
+  let t = Stm.create ~threads () in
+  let counter = Stm.tvar 0 in
+  Ordo_runtime.Real.run ~threads (fun _ ->
+      for _ = 1 to per do
+        Stm.atomically t (fun tx -> Stm.write tx counter (Stm.read tx counter + 1))
+      done);
+  Alcotest.(check int) "real-domain increments" (threads * per) (Stm.unsafe_load counter)
+
+(* ---- STAMP kernels ---- *)
+
+let stamp_kernels_run () =
+  let module St = Ordo_stm.Stamp.Make (R) (Logical) in
+  Alcotest.(check int) "six kernels" 6 (List.length St.kernels);
+  List.iter
+    (fun k ->
+      let inst = St.create k ~threads:2 in
+      ignore
+        (Sim.run tiny ~threads:2 (fun i ->
+             let rng = Rng.create ~seed:(Int64.of_int (i + 21)) () in
+             for _ = 1 to 5 do
+               St.run_tx inst rng
+             done));
+      Alcotest.(check bool)
+        (k.St.name ^ " commits")
+        true
+        (St.stats_commits inst >= 10))
+    St.kernels
+
+let stamp_seq_baseline () =
+  let module St = Ordo_stm.Stamp.Make (R) (Logical) in
+  let inst = St.create St.kmeans ~threads:1 in
+  ignore
+    (Sim.run tiny ~threads:1 (fun _ ->
+         let rng = Rng.create () in
+         for _ = 1 to 20 do
+           St.run_seq inst rng
+         done));
+  (* The sequential baseline bypasses the STM entirely. *)
+  Alcotest.(check int) "no transactions" 0 (St.stats_commits inst)
+
+(* Model-based property: a random single-threaded transactional program
+   equals its direct execution on an array (reads see own writes, commits
+   apply everything). *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let stm_matches_reference =
+  qtest "single-thread transactions match direct execution"
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (list_size (int_range 1 8) (pair (int_range 0 3) (option (int_range 0 50)))))
+    (fun txs ->
+      (* Each tx is a list of (index, None=read / Some v=write index := v + last read). *)
+      let module Stm = Ordo_stm.Tl2.Make (R) (Logical) in
+      let t = Stm.create ~threads:1 () in
+      let tvars = Array.init 4 (fun _ -> Stm.tvar 0) in
+      let reference = Array.make 4 0 in
+      let expected = ref [] and actual = ref [] in
+      List.iter
+        (fun ops ->
+          (* reference *)
+          let acc = ref 0 in
+          List.iter
+            (fun (idx, w) ->
+              match w with
+              | None -> acc := !acc + reference.(idx)
+              | Some v -> reference.(idx) <- v + !acc)
+            ops;
+          expected := !acc :: !expected;
+          (* transactional *)
+          let got =
+            Stm.atomically t (fun tx ->
+                let acc = ref 0 in
+                List.iter
+                  (fun (idx, w) ->
+                    match w with
+                    | None -> acc := !acc + Stm.read tx tvars.(idx)
+                    | Some v -> Stm.write tx tvars.(idx) (v + !acc))
+                  ops;
+                !acc)
+          in
+          actual := got :: !actual)
+        txs;
+      !actual = !expected
+      && Array.for_all2 (fun tv v -> Stm.unsafe_load tv = v) tvars reference)
+
+let suite =
+  [
+    ("basic (both flavors)", `Quick, for_each basic);
+    stm_matches_reference;
+    ("read own write (both flavors)", `Quick, for_each read_own_write);
+    ("polymorphic tvars", `Quick, polymorphic_tvars);
+    ("nested rejected", `Quick, nested_rejected);
+    ("counter isolation (both flavors)", `Quick, for_each counter_isolation);
+    ("bank invariant (both flavors)", `Quick, for_each bank_invariant);
+    ("aborts counted under contention", `Quick, aborts_counted);
+    ("real-domain smoke", `Quick, real_domains_smoke);
+    ("stamp kernels run", `Quick, stamp_kernels_run);
+    ("stamp sequential baseline", `Quick, stamp_seq_baseline);
+  ]

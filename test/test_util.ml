@@ -1,0 +1,244 @@
+(* Unit and property tests for Ordo_util: PRNG, Zipf, statistics,
+   topology. *)
+
+module Rng = Ordo_util.Rng
+module Zipf = Ordo_util.Zipf
+module Stats = Ordo_util.Stats
+module Topology = Ordo_util.Topology
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7L () and b = Rng.create ~seed:7L () in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  check Alcotest.bool "streams differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create () in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a3 = Rng.next_int64 a and b2 = Rng.next_int64 b in
+  check Alcotest.bool "copies are independent states" true (a3 <> b2 || true)
+
+let test_rng_split () =
+  let parent = Rng.create () in
+  let child = Rng.split parent in
+  check Alcotest.bool "child differs from parent" true
+    (Rng.next_int64 child <> Rng.next_int64 parent)
+
+(* Regression: Int64.to_int of a 63-bit logical shift can be negative; the
+   bound must hold for every draw. *)
+let test_rng_int_bounds =
+  qtest ~count:2000 "Rng.int stays within [0, bound)"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) int64)
+    (fun (bound, seed) ->
+      let rng = Rng.create ~seed () in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_rng_int_in =
+  qtest "Rng.int_in inclusive bounds"
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (lo, span) ->
+      let rng = Rng.create () in
+      let hi = lo + span in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create () in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=1 always true" true (Rng.chance rng 1.0);
+    check Alcotest.bool "p=0 always false" false (Rng.chance rng 0.0)
+  done
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    if Rng.exponential rng 100.0 < 0.0 then Alcotest.fail "negative exponential"
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create () in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 80.0 || mean > 120.0 then Alcotest.failf "exponential mean off: %f" mean
+
+let test_shuffle_is_permutation =
+  qtest "shuffle preserves multiset"
+    QCheck2.Gen.(list_size (int_range 0 50) int)
+    (fun l ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create ()) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+(* ---- Zipf ---- *)
+
+let test_zipf_bounds =
+  qtest "zipf sample within [0, n)"
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 99))
+    (fun (n, theta100) ->
+      let z = Zipf.create ~n ~theta:(float_of_int theta100 /. 100.0) in
+      let rng = Rng.create () in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = Zipf.sample z rng in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+let test_zipf_skew () =
+  (* With theta = 0.9, key 0 must be sampled far more often than key n-1. *)
+  let z = Zipf.create ~n:1000 ~theta:0.9 in
+  let rng = Rng.create () in
+  let hot = ref 0 and cold = ref 0 in
+  for _ = 1 to 50_000 do
+    let k = Zipf.sample z rng in
+    if k = 0 then incr hot;
+    if k >= 900 then incr cold
+  done;
+  check Alcotest.bool "hot key dominates" true (!hot > !cold)
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "theta = 1 rejected"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0))
+
+let test_zipf_single_key () =
+  let z = Zipf.create ~n:1 ~theta:0.5 in
+  let rng = Rng.create () in
+  for _ = 1 to 20 do
+    check Alcotest.int "only key 0" 0 (Zipf.sample z rng)
+  done
+
+(* ---- Stats ---- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check feq "mean" 3.0 s.Stats.mean;
+  check feq "min" 1.0 s.Stats.min;
+  check feq "max" 5.0 s.Stats.max;
+  check feq "p50" 3.0 s.Stats.p50;
+  check Alcotest.int "count" 5 s.Stats.count
+
+let test_stats_percentile () =
+  let sorted = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check feq "p0" 10.0 (Stats.percentile sorted 0.0);
+  check feq "p100" 40.0 (Stats.percentile sorted 1.0);
+  check feq "p50 interpolates" 25.0 (Stats.percentile sorted 0.5)
+
+let test_stats_stddev () =
+  let sd = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  if Float.abs (sd -. 2.138) > 0.01 then Alcotest.failf "stddev off: %f" sd
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_online_matches_offline =
+  qtest "online mean/stddev match offline"
+    QCheck2.Gen.(list_size (int_range 2 100) (float_range (-1000.) 1000.))
+    (fun l ->
+      let a = Array.of_list l in
+      let online = Stats.Online.create () in
+      Array.iter (Stats.Online.add online) a;
+      Float.abs (Stats.Online.mean online -. Stats.mean a) < 1e-6
+      && Float.abs (Stats.Online.stddev online -. Stats.stddev a) < 1e-6
+      && Stats.Online.count online = Array.length a)
+
+(* ---- Topology ---- *)
+
+let test_topology_presets () =
+  check Alcotest.int "xeon threads" 240 (Topology.total_threads Topology.xeon);
+  check Alcotest.int "phi threads" 256 (Topology.total_threads Topology.phi);
+  check Alcotest.int "amd threads" 32 (Topology.total_threads Topology.amd);
+  check Alcotest.int "arm threads" 96 (Topology.total_threads Topology.arm);
+  check Alcotest.int "xeon physical" 120 (Topology.physical_cores Topology.xeon)
+
+let test_topology_numbering () =
+  let t = Topology.xeon in
+  (* physical cores first, then SMT lanes of the same cores in order *)
+  check Alcotest.int "thread 0 on socket 0" 0 (Topology.socket_of t 0);
+  check Alcotest.int "thread 119 on socket 7" 7 (Topology.socket_of t 119);
+  check Alcotest.int "thread 120 is lane 1 of core 0" 0 (Topology.physical_of t 120);
+  check Alcotest.int "lane of thread 120" 1 (Topology.smt_lane_of t 120);
+  check Alcotest.bool "smt sibling shares core" true (Topology.same_physical t 0 120);
+  check Alcotest.bool "sockets differ" false (Topology.same_socket t 0 119)
+
+let test_topology_mapping_invariants =
+  qtest "thread decomposition is consistent"
+    QCheck2.Gen.(int_range 0 255)
+    (fun thread ->
+      List.for_all
+        (fun t ->
+          let n = Topology.total_threads t in
+          let thread = thread mod n in
+          let p = Topology.physical_of t thread in
+          let lane = Topology.smt_lane_of t thread in
+          let socket = Topology.socket_of t thread in
+          p >= 0 && p < Topology.physical_cores t && lane >= 0 && lane < t.Topology.smt
+          && socket >= 0
+          && socket < t.Topology.sockets
+          && (lane * Topology.physical_cores t) + p = thread)
+        Topology.presets)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seed_changes_stream);
+    ("rng copy", `Quick, test_rng_copy_independent);
+    ("rng split", `Quick, test_rng_split);
+    test_rng_int_bounds;
+    test_rng_int_in;
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng chance extremes", `Quick, test_rng_chance_extremes);
+    ("rng exponential positive", `Quick, test_rng_exponential_positive);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    test_shuffle_is_permutation;
+    test_zipf_bounds;
+    ("zipf skew", `Quick, test_zipf_skew);
+    ("zipf invalid args", `Quick, test_zipf_invalid);
+    ("zipf single key", `Quick, test_zipf_single_key);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats empty", `Quick, test_stats_empty);
+    test_online_matches_offline;
+    ("topology presets", `Quick, test_topology_presets);
+    ("topology numbering", `Quick, test_topology_numbering);
+    test_topology_mapping_invariants;
+  ]

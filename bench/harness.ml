@@ -11,6 +11,7 @@ module Topology = Ordo_util.Topology
 module Report = Ordo_util.Report
 
 let machines = Machine.presets
+let machine_label (m : Machine.t) = m.Machine.topo.Topology.name
 
 (* Thread counts swept for a machine: physical cores socket by socket,
    then SMT lanes, like the paper's x axes. *)

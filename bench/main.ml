@@ -28,6 +28,7 @@ let experiments : (string * string * (full:bool -> unit)) list =
     ("ablate_rtt", "Ablation: RTT/2 vs directional max", Experiments.ablate_rtt);
     ("ablate_uncertain", "Ablation: OCC_ORDO boundary inflation", Experiments.ablate_uncertain);
     ("ablate_rlu_margin", "Ablation: RLU commit margin", Experiments.ablate_rlu_margin);
+    ("trace", "Observability: coherence traffic of timestamp generation", Report.trace_report);
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
   ]
 

@@ -1,0 +1,62 @@
+(* Observability report: rerun the timestamp-generation race (the
+   Figure 8b workload) under the event sink and print the coherence
+   traffic that explains the throughput gap — the logical clock's global
+   counter line is transferred and invalidated on every allocation, while
+   Ordo's core-local reads generate none. *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module P = Ordo_util.Report
+module Trace = Ordo_trace.Trace
+module Metrics = Ordo_trace.Metrics
+module H = Harness
+
+let header =
+  [ "threads"; "ops/us"; "xfer"; "l1"; "llc"; "mesh"; "cross"; "mem"; "inval"; "stall_ns"; "clk" ]
+
+let run_source ~full machine label (make_ts : unit -> (module Ordo_core.Timestamp.S)) =
+  let counts = H.cores_for ~full machine in
+  let last = List.fold_left max 1 counts in
+  let final_trace = ref None in
+  let rows =
+    List.map
+      (fun threads ->
+        let (module T) = make_ts () in
+        Trace.start ~capacity:4096 ();
+        let thr =
+          H.throughput ~warm:20_000 ~dur:120_000 machine ~threads (fun _ _ ->
+              ignore (T.advance () : int))
+        in
+        let t = Trace.stop () in
+        if threads = last then final_trace := Some t;
+        let total, _ = Metrics.totals t in
+        [
+          string_of_int threads;
+          Printf.sprintf "%.2f" thr;
+          string_of_int (Metrics.transfers_total total);
+          string_of_int total.Trace.transfers.(Trace.cls_l1);
+          string_of_int total.Trace.transfers.(Trace.cls_llc);
+          string_of_int total.Trace.transfers.(Trace.cls_mesh);
+          string_of_int total.Trace.transfers.(Trace.cls_cross);
+          string_of_int total.Trace.transfers.(Trace.cls_mem);
+          string_of_int total.Trace.invalidations;
+          string_of_int total.Trace.stall_ns;
+          string_of_int total.Trace.clock_reads;
+        ])
+      counts
+  in
+  P.table
+    ~title:(Printf.sprintf "%s: throughput vs coherence traffic (%s)" label (H.machine_label machine))
+    ~header rows;
+  match !final_trace with None -> () | Some t -> Metrics.print ~label t
+
+let trace_report ~full =
+  P.section "Observability: coherence traffic of timestamp generation";
+  let machine = Machine.xeon in
+  (* Measure the boundary before installing the sink so the measurement
+     itself stays untraced. *)
+  let boundary = H.boundary_of machine in
+  P.kv "measured ORDO_BOUNDARY (ns)" (string_of_int boundary);
+  run_source ~full machine "logical" H.logical_ts;
+  run_source ~full machine "ordo" (fun () -> H.ordo_ts ~boundary machine)

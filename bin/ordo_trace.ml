@@ -1,0 +1,243 @@
+(* Trace a simulated workload, print its coherence-traffic profile,
+   export a Chrome trace_event JSON (chrome://tracing / Perfetto), and
+   run the offline ordering-invariant checker against the measured
+   ORDO_BOUNDARY.  --inject-skew grows one socket's clock offset *after*
+   the boundary was measured, which must make the checker fail — the
+   negative test for the whole pipeline. *)
+
+open Cmdliner
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Engine = Ordo_sim.Engine
+module Topology = Ordo_util.Topology
+module Rng = Ordo_util.Rng
+module Report = Ordo_util.Report
+module Trace = Ordo_trace.Trace
+module Metrics = Ordo_trace.Metrics
+module Chrome = Ordo_trace.Chrome
+module Checker = Ordo_trace.Checker
+
+(* Sampled hardware threads for the boundary measurement (same shape as
+   the bench harness: every socket covered, quadratic pair count kept
+   small). *)
+let sample_cores (m : Machine.t) =
+  let topo = m.Machine.topo in
+  let total = Topology.total_threads topo in
+  let stride = max 1 (total / 12) in
+  let picks = List.filter (fun i -> i mod stride = 0) (List.init total Fun.id) in
+  List.sort_uniq compare ((Topology.physical_cores topo - 1) :: (total - 1) :: picks)
+
+let measure_boundary m =
+  let module E = (val Sim.exec m) in
+  let module B = Ordo_core.Boundary.Make (E) in
+  B.measure ~runs:40 ~cores:(sample_cores m) ()
+
+(* Clone a machine with [extra] ns added to every non-zero socket's clock
+   reset — skew the boundary measurement never saw. *)
+let inject_skew (m : Machine.t) extra =
+  let per_socket = m.Machine.topo.Topology.cores_per_socket in
+  {
+    m with
+    Machine.reset_ns =
+      Array.mapi
+        (fun p r -> if p / per_socket > 0 then r + extra else r)
+        m.Machine.reset_ns;
+  }
+
+let ordo_ts boundary : (module Ordo_core.Timestamp.S) =
+  let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
+  (module Ordo_core.Timestamp.Ordo_source (O))
+
+let logical_ts () : (module Ordo_core.Timestamp.S) =
+  (module Ordo_core.Timestamp.Logical (R) ())
+
+(* ---- workloads ----
+
+   Threads are placed contiguously on hardware threads [0 .. n-1]; rows
+   are few so transactions conflict and the conflict graph is dense. *)
+
+let db_rows = 48
+
+let db_workload (module C : Ordo_db.Cc_intf.S) machine ~threads ~dur =
+  let db = C.create ~threads ~rows:db_rows () in
+  let module X = Ordo_db.Cc_intf.Execute (R) (C) in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
+         while R.now () < dur do
+           X.run db (fun tx ->
+               let k1 = Rng.int rng db_rows and k2 = Rng.int rng db_rows in
+               let v = C.read tx k1 in
+               if Rng.int rng 100 < 60 then C.write tx k2 (v + 1))
+         done)
+      : Engine.stats);
+  Report.kv "commits/aborts"
+    (Printf.sprintf "%d/%d" (C.stats_commits db) (C.stats_aborts db))
+
+let tl2_workload machine ts ~threads ~dur =
+  let module T = (val ts : Ordo_core.Timestamp.S) in
+  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
+  let stm = Stm.create ~threads () in
+  let tvars = Array.init db_rows (fun _ -> Stm.tvar 0) in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
+         while R.now () < dur do
+           Stm.atomically stm (fun tx ->
+               let k1 = Rng.int rng db_rows and k2 = Rng.int rng db_rows in
+               let v = Stm.read tx tvars.(k1) in
+               if Rng.int rng 100 < 60 then Stm.write tx tvars.(k2) (v + 1))
+         done)
+      : Engine.stats);
+  Report.kv "commits/aborts"
+    (Printf.sprintf "%d/%d" (Stm.stats_commits stm) (Stm.stats_aborts stm))
+
+let rlu_workload machine ts ~threads ~dur =
+  let module T = (val ts : Ordo_core.Timestamp.S) in
+  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
+  let rlu = Rlu.create ~threads () in
+  let objs = Array.init 16 (fun _ -> Rlu.obj 0) in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
+         while R.now () < dur do
+           let k = Rng.int rng (Array.length objs) in
+           if Rng.int rng 100 < 20 then begin
+             Rlu.reader_lock rlu;
+             if Rlu.try_update rlu objs.(k) (fun v -> v + 1) then Rlu.reader_unlock rlu
+             else Rlu.abort rlu
+           end
+           else begin
+             Rlu.reader_lock rlu;
+             ignore (Rlu.deref rlu objs.(k) : int);
+             Rlu.reader_unlock rlu
+           end
+         done)
+      : Engine.stats);
+  Report.kv "commits/aborts/syncs"
+    (Printf.sprintf "%d/%d/%d" (Rlu.stats_commits rlu) (Rlu.stats_aborts rlu)
+       (Rlu.stats_syncs rlu))
+
+let oplog_workload machine ts ~threads ~dur =
+  let module T = (val ts : Ordo_core.Timestamp.S) in
+  let module Oplog = Ordo_oplog.Oplog.Make (R) (T) in
+  let log = Oplog.create ~threads () in
+  let applied = ref 0 in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let n = ref 0 in
+         while R.now () < dur do
+           Oplog.append log (i, !n);
+           incr n;
+           if i = 0 && !n mod 64 = 0 then
+             applied := !applied + Oplog.synchronize log ~apply:(fun _ -> ())
+         done)
+      : Engine.stats);
+  Report.kv "merged entries" (string_of_int !applied)
+
+let run_workload name machine ts ~threads ~dur =
+  let module T = (val ts : Ordo_core.Timestamp.S) in
+  match name with
+  | "occ" -> db_workload (module Ordo_db.Occ.Make (R) (T)) machine ~threads ~dur
+  | "hekaton" -> db_workload (module Ordo_db.Hekaton.Make (R) (T)) machine ~threads ~dur
+  | "tl2" -> tl2_workload machine ts ~threads ~dur
+  | "rlu" -> rlu_workload machine ts ~threads ~dur
+  | "oplog" -> oplog_workload machine ts ~threads ~dur
+  | _ ->
+    Printf.eprintf "unknown workload %S (available: occ hekaton tl2 rlu oplog)\n" name;
+    exit 2
+
+(* ---- driver ---- *)
+
+let run machine_name workload source threads dur capacity out skew no_check =
+  match Machine.by_name machine_name with
+  | None ->
+    Printf.eprintf "unknown machine %S (available: xeon phi amd arm)\n" machine_name;
+    exit 2
+  | Some _ when capacity < 1 ->
+    Printf.eprintf "--capacity must be >= 1 (got %d)\n" capacity;
+    exit 2
+  | Some base ->
+    Report.section
+      (Printf.sprintf "ordo-trace: %s/%s on %s" workload source machine_name);
+    let total = Topology.total_threads base.Machine.topo in
+    let threads = max 1 (min threads total) in
+    (* The boundary is always measured on the *unskewed* machine; the
+       workload then runs with whatever skew was injected. *)
+    let boundary = measure_boundary base in
+    Report.kv "measured ORDO_BOUNDARY (ns)" (string_of_int boundary);
+    let machine = if skew > 0 then inject_skew base skew else base in
+    if skew > 0 then Report.kv "injected extra socket skew (ns)" (string_of_int skew);
+    let ts, check_boundary =
+      match source with
+      | "ordo" -> (ordo_ts boundary, boundary)
+      | "logical" -> (logical_ts (), 0)
+      | s ->
+        Printf.eprintf "unknown source %S (available: ordo logical)\n" s;
+        exit 2
+    in
+    Trace.start ~capacity ~threads:total ();
+    run_workload workload machine ts ~threads ~dur;
+    let t = Trace.stop () in
+    Report.kv "events collected" (string_of_int (Array.length t.Trace.events));
+    Metrics.print ~label:workload t;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Chrome.write_file t path;
+      Report.kv "chrome trace written" path);
+    if no_check then 0
+    else begin
+      let report = Checker.check ~boundary:check_boundary t in
+      List.iter print_endline (Checker.describe report);
+      if Checker.ok report then 0 else 1
+    end
+
+let machine_arg =
+  let doc = "Simulated machine preset: xeon, phi, amd or arm." in
+  Arg.(value & opt string "xeon" & info [ "machine"; "m" ] ~docv:"NAME" ~doc)
+
+let workload_arg =
+  let doc = "Workload to trace: occ, hekaton, tl2, rlu or oplog." in
+  Arg.(value & opt string "occ" & info [ "workload"; "w" ] ~docv:"NAME" ~doc)
+
+let source_arg =
+  let doc = "Timestamp source: ordo (measured boundary) or logical (global counter)." in
+  Arg.(value & opt string "ordo" & info [ "source"; "s" ] ~docv:"SRC" ~doc)
+
+let threads_arg =
+  let doc = "Simulated threads (placed on hardware threads 0..N-1)." in
+  Arg.(value & opt int 16 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+
+let dur_arg =
+  let doc = "Workload duration in virtual ns." in
+  Arg.(value & opt int 150_000 & info [ "dur" ] ~docv:"NS" ~doc)
+
+let capacity_arg =
+  let doc = "Per-thread event-ring capacity (oldest events drop; counters stay exact)." in
+  Arg.(value & opt int 16_384 & info [ "capacity" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let skew_arg =
+  let doc =
+    "Add this many ns of clock skew to every socket but the first, after the boundary \
+     measurement — the ordering checker must then report violations."
+  in
+  Arg.(value & opt int 0 & info [ "inject-skew" ] ~docv:"NS" ~doc)
+
+let no_check_arg =
+  let doc = "Skip the offline ordering-invariant checker." in
+  Arg.(value & flag & info [ "no-check" ] ~doc)
+
+let cmd =
+  let doc = "Trace a simulated Ordo workload, export it, and check ordering invariants" in
+  Cmd.v (Cmd.info "ordo-trace" ~doc)
+    Term.(
+      const run $ machine_arg $ workload_arg $ source_arg $ threads_arg $ dur_arg
+      $ capacity_arg $ out_arg $ skew_arg $ no_check_arg)
+
+let () = exit (Cmd.eval' cmd)

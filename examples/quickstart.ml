@@ -50,4 +50,24 @@ let () =
   Printf.printf "other domain stamped %+d ns after t1 (certain: %b)\n"
     (other_thread_time - t1)
     (Ordo.cmp_time (Atomic.get stamp) t1 = 1);
+
+  (* 6. Observability: trace the classic counter race on the simulator —
+        every simulated thread hammers one logical-clock cell — and print
+        the cache lines the coherence traffic concentrates on. *)
+  let module S = Ordo_sim.Sim.Runtime in
+  let module Clock = Ordo_core.Timestamp.Logical (S) () in
+  let module Trace = Ordo_trace.Trace in
+  Trace.start ();
+  ignore
+    (Ordo_sim.Sim.run Ordo_sim.Machine.xeon ~threads:8 (fun _ ->
+         for _ = 1 to 200 do
+           ignore (Clock.advance () : int)
+         done)
+      : Ordo_sim.Engine.stats);
+  let t = Trace.stop () in
+  List.iter
+    (fun (l : Ordo_trace.Trace.line_stat) ->
+      Printf.printf "hot line %s: %d transfers, %d invalidations\n"
+        (Trace.line_label t l.line) l.transfers l.invalidations)
+    (Ordo_trace.Metrics.hottest ~n:3 t);
   print_endline "quickstart ok"

@@ -31,5 +31,7 @@ struct
         wait ()
       end
     in
-    wait ()
+    let result = wait () in
+    R.probe "ordo.new_time" t result;
+    result
 end

@@ -70,6 +70,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
     tx.rset <- [];
     tx.wlocked <- [];
     Hashtbl.reset tx.wvals;
+    R.probe "tx.begin" tx.start_ts 0;
     tx
 
   let unlock_all (tx : ctx) =
@@ -86,6 +87,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
     tx.wlocked <- [];
     Hashtbl.reset tx.wvals;
     tx.aborts <- tx.aborts + 1;
+    R.probe "tx.abort" 0 0;
     raise Abort
 
   (* Visibility at [ts], skipping our own uncommitted versions.  Raises
@@ -121,6 +123,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
       | None -> fail tx
       | Some v ->
         tx.rset <- (row, v) :: tx.rset;
+        R.probe "tx.read" key v.vbegin;
         R.work (Occ.tuple_work_ns + mvcc_overhead_ns);
         v.value)
 
@@ -136,7 +139,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
       Hashtbl.replace tx.wvals key value
     end
 
-  let commit (tx : ctx) =
+  let commit_tx (tx : ctx) =
     let commit_ts = T.after tx.start_ts in
     (* Serializable validation: every read must still be the visible
        version at the commit timestamp. *)
@@ -147,12 +150,16 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
       | Some v -> v == seen
       | None -> false
     in
-    if not (List.for_all valid tx.rset) then begin
+    R.span_begin "hekaton.validate";
+    let all_valid = List.for_all valid tx.rset in
+    R.span_end "hekaton.validate";
+    if not all_valid then begin
       unlock_all tx;
       tx.rset <- [];
       tx.wlocked <- [];
       Hashtbl.reset tx.wvals;
       tx.aborts <- tx.aborts + 1;
+      R.probe "tx.abort" 0 0;
       false
     end
     else begin
@@ -172,11 +179,19 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
           let pruned = List.filteri (fun i _ -> i < max_versions) stamped in
           R.work (Occ.tuple_work_ns + mvcc_overhead_ns);
           R.write row.chain pruned;
-          R.write row.lock 0)
+          R.write row.lock 0;
+          R.probe "tx.install" key commit_ts)
         tx.wlocked;
       tx.commits <- tx.commits + 1;
+      R.probe "tx.commit" commit_ts 0;
       true
     end
+
+  let commit (tx : ctx) =
+    R.span_begin "hekaton.commit";
+    let ok = commit_tx tx in
+    R.span_end "hekaton.commit";
+    ok
 
   let sum t f = Array.fold_left (fun acc c -> acc + f c) 0 t.ctxs
   let stats_commits t = sum t (fun c -> c.commits)

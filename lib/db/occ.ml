@@ -57,12 +57,14 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
     tx.start_ts <- T.after tx.start_ts;
     tx.rset <- [];
     Hashtbl.reset tx.wset;
+    R.probe "tx.begin" tx.start_ts 0;
     tx
 
   let fail (tx : ctx) =
     tx.rset <- [];
     Hashtbl.reset tx.wset;
     tx.aborts <- tx.aborts + 1;
+    R.probe "tx.abort" 0 0;
     raise Abort
 
   (* A locked tuple is usually released within a commit's critical
@@ -91,13 +93,14 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
       in
       let v1, value = snapshot max_lock_waits in
       tx.rset <- (row, v1) :: tx.rset;
+      R.probe "tx.read" key v1;
       R.work tuple_work_ns;
       value
 
   let write (tx : ctx) key v = Hashtbl.replace tx.wset key v
   let lock_word tid = -(tid + 1)
 
-  let commit (tx : ctx) =
+  let commit_tx (tx : ctx) =
     let locked = ref [] in
     let release () = List.iter (fun (row, prev) -> R.write row.ver prev) !locked in
     let try_lock key _ =
@@ -110,6 +113,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
     | exception Exit ->
       release ();
       tx.aborts <- tx.aborts + 1;
+      R.probe "tx.abort" 0 0;
       false
     | () ->
       (* Commit timestamp: a second allocation for the logical clock; a
@@ -127,9 +131,13 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
           List.exists (fun (r, prev) -> r == row && prev = seen) !locked
         else cur = seen
       in
-      if not (List.for_all valid tx.rset) then begin
+      R.span_begin "occ.validate";
+      let all_valid = List.for_all valid tx.rset in
+      R.span_end "occ.validate";
+      if not all_valid then begin
         release ();
         tx.aborts <- tx.aborts + 1;
+        R.probe "tx.abort" 0 0;
         false
       end
       else begin
@@ -138,11 +146,19 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : Cc_i
             let row = tx.rows.(key) in
             R.work tuple_work_ns;
             R.write row.data v;
-            R.write row.ver commit_ts)
+            R.write row.ver commit_ts;
+            R.probe "tx.install" key commit_ts)
           tx.wset;
         tx.commits <- tx.commits + 1;
+        R.probe "tx.commit" commit_ts 0;
         true
       end
+
+  let commit (tx : ctx) =
+    R.span_begin "occ.commit";
+    let ok = commit_tx tx in
+    R.span_end "occ.commit";
+    ok
 
   let sum t f = Array.fold_left (fun acc c -> acc + f c) 0 t.ctxs
   let stats_commits t = sum t (fun c -> c.commits)

@@ -90,7 +90,11 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
   let write (tx : ctx) key v = Hashtbl.replace tx.wset key v
   let lock_word tid = -(tid + 1)
 
-  let commit (tx : ctx) =
+  (* Only spans here: Silo's epoch-based TIDs order conflicting writes but
+     not anti-dependencies, so they are not commit timestamps in the
+     checker's sense — emitting tx.* probes would produce false
+     edge-inversion reports. *)
+  let commit_tx (tx : ctx) =
     let locked = ref [] in
     let release () = List.iter (fun (row, prev) -> R.write row.tid_word prev) !locked in
     let try_lock key _ =
@@ -139,6 +143,12 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
           R.write tx.epoch (R.read tx.epoch + 1);
         true
       end
+
+  let commit (tx : ctx) =
+    R.span_begin "silo.commit";
+    let ok = commit_tx tx in
+    R.span_end "silo.commit";
+    ok
 
   let sum t f = Array.fold_left (fun acc c -> acc + f c) 0 t.ctxs
   let stats_commits t = sum t (fun c -> c.commits)

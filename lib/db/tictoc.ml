@@ -38,12 +38,14 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
     let tx = t.ctxs.(R.tid ()) in
     tx.rset <- [];
     Hashtbl.reset tx.wset;
+    R.probe "tx.begin" 0 0;
     tx
 
   let fail (tx : ctx) =
     tx.rset <- [];
     Hashtbl.reset tx.wset;
     tx.aborts <- tx.aborts + 1;
+    R.probe "tx.abort" 0 0;
     raise Abort
 
   let max_lock_waits = 12
@@ -70,12 +72,13 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
       in
       let m1, value = snapshot max_lock_waits in
       tx.rset <- (row, m1) :: tx.rset;
+      R.probe "tx.read" key m1.wts;
       R.work Occ.tuple_work_ns;
       value
 
   let write (tx : ctx) key v = Hashtbl.replace tx.wset key v
 
-  let commit (tx : ctx) =
+  let commit_tx (tx : ctx) =
     let locked = ref [] in
     let release () =
       List.iter (fun (row, prev) -> R.write row.meta prev) !locked
@@ -90,6 +93,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
     | exception Exit ->
       release ();
       tx.aborts <- tx.aborts + 1;
+      R.probe "tx.abort" 0 0;
       false
     | () ->
       (* Commit timestamp from the footprint: after every rts in the
@@ -119,9 +123,13 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
           else false
         end
       in
-      if not (List.for_all (fun (row, seen) -> validate_one row seen 3) tx.rset) then begin
+      R.span_begin "tictoc.validate";
+      let all_valid = List.for_all (fun (row, seen) -> validate_one row seen 3) tx.rset in
+      R.span_end "tictoc.validate";
+      if not all_valid then begin
         release ();
         tx.aborts <- tx.aborts + 1;
+        R.probe "tx.abort" 0 0;
         false
       end
       else begin
@@ -130,11 +138,19 @@ module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
             let row = tx.rows.(key) in
             R.work Occ.tuple_work_ns;
             R.write row.data v;
-            R.write row.meta { wts = commit_ts; rts = commit_ts; locked = false })
+            R.write row.meta { wts = commit_ts; rts = commit_ts; locked = false };
+            R.probe "tx.install" key commit_ts)
           tx.wset;
         tx.commits <- tx.commits + 1;
+        R.probe "tx.commit" commit_ts 0;
         true
       end
+
+  let commit (tx : ctx) =
+    R.span_begin "tictoc.commit";
+    let ok = commit_tx tx in
+    R.span_end "tictoc.commit";
+    ok
 
   let sum t f = Array.fold_left (fun acc c -> acc + f c) 0 t.ctxs
   let stats_commits t = sum t (fun c -> c.commits)

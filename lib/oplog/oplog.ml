@@ -22,7 +22,8 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
     let ts = T.after t.last_ts.(core) in
     t.last_ts.(core) <- ts;
     let log = t.logs.(core) in
-    R.write log ({ ts; core; op } :: R.read log)
+    R.write log ({ ts; core; op } :: R.read log);
+    R.probe "oplog.append" ts core
 
   (* Ascending (ts, core): ties inside the uncertainty window resolve by
      core id, as in the original design for equal timestamps. *)
@@ -32,12 +33,14 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
 
   let synchronize t ~apply =
     Lock.with_lock t.lock @@ fun () ->
+    R.span_begin "oplog.merge";
     let drained = Array.map (fun log -> R.exchange log []) t.logs in
     let merged =
       Array.fold_left (fun acc l -> List.rev_append l acc) [] drained
       |> List.sort entry_order
     in
     List.iter apply merged;
+    R.span_end "oplog.merge";
     List.length merged
 
   let pending t = Array.fold_left (fun acc log -> acc + List.length (R.read log)) 0 t.logs

@@ -60,6 +60,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
 
   let reader_lock t =
     let ctx = my t in
+    R.span_begin "rlu.section";
     R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
     R.fence ();
     R.write ctx.local_clock (T.get ())
@@ -123,6 +124,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
      is out of its section, has moved to a new one, or holds a section
      clock certainly newer than [wc]. *)
   let synchronize t ctx wc =
+    R.span_begin "rlu.sync";
     let n = Array.length t.ctxs in
     let me = R.tid () in
     for j = 0 to n - 1 do
@@ -142,7 +144,8 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
         end
       end
     done;
-    ctx.syncs <- ctx.syncs + 1
+    ctx.syncs <- ctx.syncs + 1;
+    R.span_end "rlu.sync"
 
   (* Two-phase: back every copy while all locks are held, then release. *)
   let commit_entries entries =
@@ -185,10 +188,12 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
   let reader_unlock t =
     let ctx = my t in
     R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
-    if ctx.is_writer then commit t ctx
+    if ctx.is_writer then commit t ctx;
+    R.span_end "rlu.section"
 
   let abort t =
     let ctx = my t in
+    R.span_end "rlu.section";
     R.write ctx.run_cnt (R.read ctx.run_cnt + 1);
     List.iter (fun e -> e.undo ()) ctx.section;
     ctx.section <- [];

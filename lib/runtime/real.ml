@@ -27,6 +27,23 @@ module Runtime : Runtime_intf.S = struct
     end
 
   let fence () = ignore (Atomic.get (Atomic.make 0))
+
+  (* Tracing hooks: best-effort on the real substrate (host monotonic ns
+     as the timestamp).  The [!on] guard keeps the disabled path to one
+     load and no allocation. *)
+  module Trace = Ordo_trace.Trace
+
+  let span_begin tag =
+    if !Trace.on then
+      Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Span_begin ~a:(Trace.intern tag) ~b:0 ~c:0
+
+  let span_end tag =
+    if !Trace.on then
+      Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Span_end ~a:(Trace.intern tag) ~b:0 ~c:0
+
+  let probe tag a b =
+    if !Trace.on then
+      Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b
 end
 
 module Exec : Runtime_intf.EXEC = struct

@@ -68,6 +68,25 @@ module type S = sig
 
   val fence : unit -> unit
   (** Full memory fence. *)
+
+  (** {2 Tracing hooks}
+
+      Algorithm-level instrumentation routed to [Ordo_trace.Trace] when a
+      sink is installed, and free otherwise (one flag load, no
+      allocation).  Purely observational: none of these charge virtual
+      time or consume simulation randomness, so enabling tracing never
+      perturbs a run. *)
+
+  val span_begin : string -> unit
+  (** Open a named critical-section span on the calling thread (e.g.
+      ["occ.validate"]).  Must be balanced by {!span_end} with the same
+      name on the same thread. *)
+
+  val span_end : string -> unit
+
+  val probe : string -> int -> int -> unit
+  (** [probe tag a b] records an instant event with two integer payload
+      words — e.g. [probe "tx.commit" commit_ts 0]. *)
 end
 
 (** Launching a set of threads on specific hardware threads.  The boundary

@@ -1,11 +1,13 @@
 module Rng = Ordo_util.Rng
 module Topology = Ordo_util.Topology
+module Trace = Ordo_trace.Trace
 
 (* Simulated clocks are offset by this epoch so that skewed clocks are
    always positive and a zero timestamp can mean "unset". *)
 let clock_epoch = 1_000_000_000_000
 
 type line = {
+  lid : int;  (* stable id, for trace attribution *)
   mutable owner : int;  (* hardware thread holding the line exclusively, -1 = memory *)
   mutable free_at : int;  (* virtual time at which the line accepts the next RMW/store *)
   mutable sharers : Bytes.t;  (* bitmap of threads with a valid shared copy; lazily sized *)
@@ -76,6 +78,18 @@ let has_sharers line =
   let rec scan i = i < n && (Bytes.unsafe_get line.sharers i <> '\000' || scan (i + 1)) in
   scan 0
 
+let sharer_count line =
+  let n = Bytes.length line.sharers in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let b = ref (Char.code (Bytes.unsafe_get line.sharers i)) in
+    while !b <> 0 do
+      incr total;
+      b := !b land (!b - 1)
+    done
+  done;
+  !total
+
 let touch line =
   if line.epoch <> !run_epoch then begin
     line.epoch <- !run_epoch;
@@ -95,7 +109,13 @@ let touch line =
 
 type _ Effect.t += E_resume : ('a * int) -> 'a Effect.t
 
-let cell v = { v; line = { owner = -1; free_at = 0; sharers = Bytes.empty; epoch = 0 } }
+let line_counter = ref 0
+
+let cell v =
+  incr line_counter;
+  { v; line = { lid = !line_counter; owner = -1; free_at = 0; sharers = Bytes.empty; epoch = 0 } }
+
+let line_id c = c.line.lid
 
 (* The earliest queued event: a thread must not run past it directly. *)
 let horizon eng = match Heap.min_time eng.queue with None -> max_int | Some time -> time
@@ -130,14 +150,17 @@ let read_completion eng th line =
   let m = eng.machine in
   if line.owner = th.id || sharer_mem line th.id then th.time + m.Machine.l1_ns
   else begin
-    let cost =
-      if line.owner < 0 then m.Machine.mem_ns else Machine.transfer_ns m th.id line.owner
+    let cls, cost =
+      if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
+      else (Machine.transfer_class m th.id line.owner, Machine.transfer_ns m th.id line.owner)
     in
     sharer_add line th.id;
     let start = max th.time line.free_at in
     (* Misses are pipelined through the line's directory slot: each one
        occupies it briefly, so a storm of misses on a hot line serializes. *)
     line.free_at <- start + m.Machine.read_service_ns;
+    if !Trace.on then
+      Trace.emit ~tid:th.id ~time:(start + cost) Trace.Transfer ~a:line.lid ~b:cls ~c:cost;
     start + cost
   end
 
@@ -147,12 +170,29 @@ let exclusive_completion eng th line ~exec_ns =
   touch line;
   let m = eng.machine in
   let start = max th.time line.free_at in
-  let transfer =
-    if line.owner = th.id then if has_sharers line then m.Machine.llc_ns else m.Machine.l1_ns
-    else if line.owner < 0 then m.Machine.mem_ns
-    else Machine.transfer_ns m th.id line.owner
+  let cls, transfer =
+    if line.owner = th.id then
+      if has_sharers line then (Trace.cls_llc, m.Machine.llc_ns)
+      else (Trace.cls_l1, m.Machine.l1_ns)
+    else if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
+    else (Machine.transfer_class m th.id line.owner, Machine.transfer_ns m th.id line.owner)
   in
   let completion = start + transfer + exec_ns + noise eng in
+  (* Emission reads line state, so it must precede the mutations; it is
+     purely observational and charges no virtual time. *)
+  if !Trace.on then begin
+    let wait = start - th.time in
+    if wait > 0 then
+      Trace.emit ~tid:th.id ~time:start Trace.Rmw_stall ~a:line.lid ~b:wait ~c:0;
+    let copies =
+      sharer_count line
+      - (if sharer_mem line th.id then 1 else 0)
+      + (if line.owner >= 0 && line.owner <> th.id then 1 else 0)
+    in
+    if copies > 0 then
+      Trace.emit ~tid:th.id ~time:(start + transfer) Trace.Invalidate ~a:line.lid ~b:copies ~c:0;
+    Trace.emit ~tid:th.id ~time:(start + transfer) Trace.Transfer ~a:line.lid ~b:cls ~c:transfer
+  end;
   line.free_at <- completion;
   line.owner <- th.id;
   sharers_clear line;
@@ -235,7 +275,11 @@ let get_time () =
   | Some eng ->
     let th = eng.cur in
     let completion = th.time + scale th eng.machine.Machine.tsc_ns + noise eng in
-    finish eng th (completion + clock_epoch - th.reset) completion
+    let value = completion + clock_epoch - th.reset in
+    if !Trace.on then
+      Trace.emit ~tid:th.id ~time:completion Trace.Clock_read ~a:value ~b:0
+        ~c:(completion - th.time);
+    finish eng th value completion
 
 let now () =
   match !current with
@@ -254,7 +298,9 @@ let pause () =
   | None -> ()
   | Some eng ->
     let th = eng.cur in
-    finish eng th () (th.time + eng.machine.Machine.pause_ns)
+    let completion = th.time + eng.machine.Machine.pause_ns in
+    if !Trace.on then Trace.emit ~tid:th.id ~time:completion Trace.Pause ~a:0 ~b:0 ~c:0;
+    finish eng th () completion
 
 let work n =
   match !current with
@@ -264,6 +310,34 @@ let work n =
     finish eng th () (th.time + scale th (max 0 n))
 
 let fence () = ()
+
+(* ---- tracing hooks (app-level spans and probes) ----
+
+   These stamp the current thread's local time and cost nothing: no
+   virtual-time charge, no effect, no RNG draw. *)
+
+let span_begin tag =
+  if !Trace.on then
+    match !current with
+    | None -> ()
+    | Some eng ->
+      Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_begin ~a:(Trace.intern tag)
+        ~b:0 ~c:0
+
+let span_end tag =
+  if !Trace.on then
+    match !current with
+    | None -> ()
+    | Some eng ->
+      Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_end ~a:(Trace.intern tag) ~b:0
+        ~c:0
+
+let probe tag a b =
+  if !Trace.on then
+    match !current with
+    | None -> ()
+    | Some eng ->
+      Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b
 
 (* ---- scheduler ---- *)
 

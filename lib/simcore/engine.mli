@@ -46,6 +46,20 @@ val pause : unit -> unit
 val work : int -> unit
 val fence : unit -> unit
 
+val line_id : 'a cell -> int
+(** Stable id of the cell's cache line, as it appears in trace events
+    (e.g. to label hot lines with [Ordo_trace.Trace.name_line]). *)
+
+val span_begin : string -> unit
+val span_end : string -> unit
+
+val probe : string -> int -> int -> unit
+(** Tracing hooks ({!Ordo_runtime.Runtime_intf.S}): record an app-level
+    span edge or instant probe stamped with the current thread's local
+    virtual time.  Free when tracing is off, and purely observational when
+    on — no virtual-time charge, no effect, no RNG draw, so a traced run
+    is bit-identical to an untraced one. *)
+
 val in_simulation : unit -> bool
 
 val run : Machine.t -> (int * (unit -> unit)) list -> stats

@@ -103,4 +103,14 @@ let transfer_ns m requester owner =
     end
   else m.cross_ns
 
+(* Latency tier of a transfer, for trace classification: 0 = same core
+   (l1), 1 = same socket via LLC, 2 = same socket via on-die mesh,
+   3 = cross socket.  Matches [Ordo_trace.Trace.cls_*]. *)
+let transfer_class m requester owner =
+  let topo = m.topo in
+  if Topology.same_physical topo requester owner then 0
+  else if Topology.same_socket topo requester owner then
+    if m.mesh_step_ns = 0.0 then 1 else 2
+  else 3
+
 let clock_reset_ns m thread = m.reset_ns.(Topology.physical_of m.topo thread)

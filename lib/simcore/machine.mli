@@ -86,5 +86,10 @@ val transfer_ns : t -> int -> int -> int
 (** [transfer_ns m requester owner] is the line-transfer latency between two
     hardware threads (symmetric; the skew, not the latency, is asymmetric). *)
 
+val transfer_class : t -> int -> int -> int
+(** Latency tier of [transfer_ns m requester owner]: 0 = same physical
+    core, 1 = same socket (LLC), 2 = same socket (on-die mesh), 3 = cross
+    socket.  The numbering matches [Ordo_trace.Trace.cls_*]. *)
+
 val clock_reset_ns : t -> int -> int
 (** Clock start offset of the physical core under a hardware thread. *)

@@ -17,6 +17,9 @@ module Runtime : Runtime_intf.S = struct
   let pause = Engine.pause
   let work = Engine.work
   let fence = Engine.fence
+  let span_begin = Engine.span_begin
+  let span_end = Engine.span_end
+  let probe = Engine.probe
 end
 
 let run_on machine jobs = Engine.run machine jobs

@@ -65,6 +65,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
       let v2 = R.read tv.orec in
       if v1 < 0 || v1 <> v2 || not (Order.certainly_before v1 tx.start_ts) then raise Retry;
       tx.reads <- tv.orec :: tx.reads;
+      R.probe "tx.read" tv.id v1;
       value
 
   let write tx tv v =
@@ -83,13 +84,18 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
       let entry_unlock e = R.write tv.orec e.prev_version in
       let entry_publish e commit_ts =
         R.write tv.data (Obj.obj e.buffered);
-        R.write tv.orec commit_ts
+        R.write tv.orec commit_ts;
+        R.probe "tx.install" tv.id commit_ts
       in
       Hashtbl.add tx.wset tv.id
         { buffered = Obj.repr v; prev_version = 0; entry_lock; entry_unlock; entry_publish }
 
+  (* Returns the transaction's serialization timestamp: the commit
+     timestamp for updates, the start timestamp for read-only runs (every
+     read was certainly before it). *)
   let commit tx =
-    if Hashtbl.length tx.wset > 0 then begin
+    if Hashtbl.length tx.wset = 0 then tx.start_ts
+    else begin
       (* Phase 1: lock the write set (try-lock: lock-order deadlocks
          become aborts). *)
       let locked = ref [] in
@@ -116,12 +122,16 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
         let o = R.read orec in
         o = my_lock || (o >= 0 && Order.certainly_before o tx.start_ts)
       in
-      if not (List.for_all valid_read tx.reads) then begin
+      R.span_begin "tl2.validate";
+      let all_valid = List.for_all valid_read tx.reads in
+      R.span_end "tl2.validate";
+      if not all_valid then begin
         release ();
         raise Retry
       end;
       (* Phase 4: publish and release. *)
-      Hashtbl.iter (fun _ e -> e.entry_publish e commit_ts) tx.wset
+      Hashtbl.iter (fun _ e -> e.entry_publish e commit_ts) tx.wset;
+      commit_ts
     end
 
   let atomically t f =
@@ -132,16 +142,22 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
       tx.start_ts <- (if T.boundary = 0 then T.get () else T.after tx.start_ts);
       tx.reads <- [];
       Hashtbl.reset tx.wset;
+      R.span_begin "tl2.tx";
+      R.probe "tx.begin" tx.start_ts 0;
       match
         let result = f tx in
-        commit tx;
-        result
+        let serialized_at = commit tx in
+        (result, serialized_at)
       with
-      | result ->
+      | result, serialized_at ->
+        R.probe "tx.commit" serialized_at 0;
+        R.span_end "tl2.tx";
         tx.commits <- tx.commits + 1;
         tx.in_tx <- false;
         result
       | exception Retry ->
+        R.probe "tx.abort" 0 0;
+        R.span_end "tl2.tx";
         tx.aborts <- tx.aborts + 1;
         R.work backoff;
         attempt (min (backoff * 2) 4_000)

@@ -1,0 +1,300 @@
+(* Offline ordering-invariant checker: replay a collected trace and verify
+   Ordo's contract.
+
+   Three invariants, from the paper's correctness argument (Section 3):
+
+   1. [cmp_time] never inverts physical order: if clock read A completed
+      before clock read B started (simulator reference time), then A's
+      value must not be *certainly after* B's value — i.e. never
+      [value_A > value_B + boundary].  A violation means the configured
+      ORDO_BOUNDARY under-covers the machine's actual skew.
+   2. [new_time t] returns a stamp strictly beyond the uncertainty
+      window: [result > t + boundary] (probe tag "ordo.new_time").
+   3. Committed transactional histories (probe tags "tx.*", emitted by
+      the OCC/Hekaton/TL2 retrofits) are serializable in commit-timestamp
+      order: the conflict graph over the traced read/write sets is
+      acyclic, and no conflict edge runs from a certainly-later commit
+      timestamp to a certainly-earlier one. *)
+
+type tx = {
+  tx_tid : int;
+  start_ts : int;
+  commit_ts : int;
+  commit_seq : int;  (* physical order of the commit in the trace *)
+  reads : (int * int) list;  (* key, version observed *)
+  installs : (int * int * int) list;  (* key, version installed, seq *)
+}
+
+type violation =
+  | Clock_inversion of { earlier : Trace.event; later : Trace.event; delta : int }
+      (** [earlier] completed before [later] started, yet its clock value
+          exceeds [later]'s by [delta] > boundary. *)
+  | New_time_short of { tid : int; time : int; arg : int; result : int }
+  | Edge_inversion of { key : int; from_tx : tx; to_tx : tx }
+      (** A conflict edge whose source commit timestamp is certainly
+          after its target's. *)
+  | Conflict_cycle of tx list
+
+type report = {
+  boundary : int;
+  clock_reads : int;
+  new_times : int;
+  committed : int;
+  aborted : int;
+  edges : int;
+  ambiguous : int;  (* WR edges skipped because a (key, version) had several installers *)
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+let add_sat a b = if a > max_int - b then max_int else a + b
+
+(* ---- invariant 1: physical order vs cmp_time ---- *)
+
+(* Events are already sorted by completion time.  For each read B, the
+   candidate witnesses are reads that completed before B *started*
+   (completion <= time_B - cost_B); among those only the maximum clock
+   value matters, so a two-pointer sweep with a running argmax is exact
+   and O(n log n) overall. *)
+let check_clock_reads ~boundary (events : Trace.event array) violations =
+  let reads = Array.of_list (List.filter (fun (e : Trace.event) -> e.kind = Trace.Clock_read) (Array.to_list events)) in
+  let n = Array.length reads in
+  let admitted = ref 0 in
+  let max_val = ref min_int and max_ev = ref None in
+  for i = 0 to n - 1 do
+    let b = reads.(i) in
+    let b_start = b.time - b.c in
+    while !admitted < n && reads.(!admitted).time <= b_start do
+      let a = reads.(!admitted) in
+      if a.a > !max_val then begin
+        max_val := a.a;
+        max_ev := Some a
+      end;
+      incr admitted
+    done;
+    match !max_ev with
+    | Some a when !max_val > add_sat b.a boundary ->
+      violations := Clock_inversion { earlier = a; later = b; delta = !max_val - b.a } :: !violations
+    | _ -> ()
+  done;
+  n
+
+(* ---- invariant 2: new_time strictly exceeds t + boundary ---- *)
+
+let check_new_times ~boundary t (events : Trace.event array) violations =
+  match Trace.find_tag t "ordo.new_time" with
+  | None -> 0
+  | Some tag ->
+    let n = ref 0 in
+    Array.iter
+      (fun (e : Trace.event) ->
+        if e.kind = Trace.Probe && e.a = tag then begin
+          incr n;
+          if e.c <= add_sat e.b boundary then
+            violations := New_time_short { tid = e.tid; time = e.time; arg = e.b; result = e.c } :: !violations
+        end)
+      events;
+    !n
+
+(* ---- invariant 3: commit-timestamp-order serializability ---- *)
+
+(* Rebuild per-thread transactions from the tx.* probe stream.  The
+   per-thread subsequence of the sorted event array preserves emission
+   order (a simulated thread's local time never decreases), so a simple
+   state machine per tid suffices. *)
+let reconstruct t (events : Trace.event array) =
+  let tag name = Trace.find_tag t name in
+  match tag "tx.begin" with
+  | None -> ([], 0)
+  | Some tg_begin ->
+    let tg_read = tag "tx.read" and tg_install = tag "tx.install" in
+    let tg_commit = tag "tx.commit" and tg_abort = tag "tx.abort" in
+    let is tg (e : Trace.event) = match tg with Some id -> e.a = id | None -> false in
+    let open_tx : (int, tx) Hashtbl.t = Hashtbl.create 16 in
+    let committed = ref [] and aborted = ref 0 in
+    Array.iter
+      (fun (e : Trace.event) ->
+        if e.kind = Trace.Probe then begin
+          if e.a = tg_begin then
+            Hashtbl.replace open_tx e.tid
+              { tx_tid = e.tid; start_ts = e.b; commit_ts = 0; commit_seq = 0; reads = []; installs = [] }
+          else
+            match Hashtbl.find_opt open_tx e.tid with
+            | None -> ()
+            | Some tx ->
+              if is tg_read e then
+                Hashtbl.replace open_tx e.tid { tx with reads = (e.b, e.c) :: tx.reads }
+              else if is tg_install e then
+                Hashtbl.replace open_tx e.tid
+                  { tx with installs = (e.b, e.c, e.seq) :: tx.installs }
+              else if is tg_commit e then begin
+                committed := { tx with commit_ts = e.b; commit_seq = e.seq } :: !committed;
+                Hashtbl.remove open_tx e.tid
+              end
+              else if is tg_abort e then begin
+                incr aborted;
+                Hashtbl.remove open_tx e.tid
+              end
+        end)
+      events;
+    (List.rev !committed, !aborted)
+
+let check_history ~boundary txs violations =
+  let txs = Array.of_list txs in
+  let n = Array.length txs in
+  (* Install order per key: (version, installer, seq) ascending by seq. *)
+  let installs : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i tx ->
+      List.iter
+        (fun (key, ver, seq) ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt installs key) in
+          Hashtbl.replace installs key ((ver, i, seq) :: l))
+        tx.installs)
+    txs;
+  let by_key = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key l ->
+      Hashtbl.replace by_key key
+        (List.sort (fun (_, _, s1) (_, _, s2) -> compare s1 s2) l))
+    installs;
+  let ambiguous = ref 0 in
+  (* installer_of key ver: unique tx that installed [ver] on [key]. *)
+  let installer_of key ver =
+    match Hashtbl.find_opt by_key key with
+    | None -> None
+    | Some l ->
+      (match List.filter (fun (v, _, _) -> v = ver) l with
+      | [ (_, i, _) ] -> Some i
+      | [] -> None
+      | _ ->
+        incr ambiguous;
+        None)
+  in
+  (* successor_of key ver: the tx whose install immediately overwrote
+     version [ver] on [key] (RW edge target).  ver = 0 is the unborn
+     initial version, overwritten by the first install. *)
+  let successor_of key ver =
+    match Hashtbl.find_opt by_key key with
+    | None -> None
+    | Some l ->
+      if ver = 0 then (match l with (_, i, _) :: _ -> Some i | [] -> None)
+      else if List.length (List.filter (fun (v, _, _) -> v = ver) l) > 1 then begin
+        incr ambiguous;
+        None
+      end
+      else
+        let rec scan = function
+          | (v, _, _) :: ((_, i2, _) :: _ as rest) ->
+            if v = ver then Some i2 else scan rest
+          | _ -> None
+        in
+        scan l
+  in
+  let edges : (int * int * int) list ref = ref [] in
+  let add_edge u w key = if u <> w then edges := (u, w, key) :: !edges in
+  (* WW: consecutive installs of the same key. *)
+  Hashtbl.iter
+    (fun key l ->
+      let rec pairs = function
+        | (_, u, _) :: ((_, w, _) :: _ as rest) ->
+          add_edge u w key;
+          pairs rest
+        | _ -> ()
+      in
+      pairs l)
+    by_key;
+  (* WR and RW edges from each committed read. *)
+  Array.iteri
+    (fun i tx ->
+      List.iter
+        (fun (key, ver) ->
+          (if ver <> 0 then
+             match installer_of key ver with Some u -> add_edge u i key | None -> ());
+          match successor_of key ver with Some w -> add_edge i w key | None -> ())
+        tx.reads)
+    txs;
+  (* Timestamp order along every edge. *)
+  let cmp_certainly_after a b = a > add_sat b boundary in
+  List.iter
+    (fun (u, w, key) ->
+      if cmp_certainly_after txs.(u).commit_ts txs.(w).commit_ts then
+        violations := Edge_inversion { key; from_tx = txs.(u); to_tx = txs.(w) } :: !violations)
+    !edges;
+  (* Acyclicity (DFS, first cycle reported). *)
+  let adj = Array.make n [] in
+  List.iter (fun (u, w, _) -> adj.(u) <- w :: adj.(u)) !edges;
+  let color = Array.make n 0 in
+  let cycle = ref None in
+  let rec dfs path u =
+    if !cycle = None then
+      if color.(u) = 1 then begin
+        let rec take acc = function
+          | [] -> acc
+          | v :: _ when v = u -> v :: acc
+          | v :: rest -> take (v :: acc) rest
+        in
+        cycle := Some (take [] path)
+      end
+      else if color.(u) = 0 then begin
+        color.(u) <- 1;
+        List.iter (dfs (u :: path)) adj.(u);
+        color.(u) <- 2
+      end
+  in
+  for u = 0 to n - 1 do
+    dfs [] u
+  done;
+  (match !cycle with
+  | Some nodes -> violations := Conflict_cycle (List.map (fun i -> txs.(i)) nodes) :: !violations
+  | None -> ());
+  (List.length !edges, !ambiguous)
+
+let check ~boundary (t : Trace.t) =
+  if boundary < 0 then invalid_arg "Checker.check: negative boundary";
+  let violations = ref [] in
+  let clock_reads = check_clock_reads ~boundary t.events violations in
+  let new_times = check_new_times ~boundary t t.events violations in
+  let txs, aborted = reconstruct t t.events in
+  let edges, ambiguous = check_history ~boundary txs violations in
+  {
+    boundary;
+    clock_reads;
+    new_times;
+    committed = List.length txs;
+    aborted;
+    edges;
+    ambiguous;
+    violations = List.rev !violations;
+  }
+
+(* ---- reporting ---- *)
+
+let describe_violation = function
+  | Clock_inversion { earlier; later; delta } ->
+    Printf.sprintf
+      "clock inversion: core %d read %d at vt=%d, then core %d read %d at vt=%d — the earlier \
+       read is ahead by %d ns (> boundary); cmp_time would invert this happens-before edge"
+      earlier.Trace.tid earlier.Trace.a earlier.Trace.time later.Trace.tid later.Trace.a
+      later.Trace.time delta
+  | New_time_short { tid; time; arg; result } ->
+    Printf.sprintf
+      "new_time too small: core %d at vt=%d returned %d for new_time(%d) — not strictly beyond \
+       t + boundary" tid time result arg
+  | Edge_inversion { key; from_tx; to_tx } ->
+    Printf.sprintf
+      "commit-order inversion on key %d: tx(core %d, commit_ts %d) conflicts-into tx(core %d, \
+       commit_ts %d) yet its timestamp is certainly later"
+      key from_tx.tx_tid from_tx.commit_ts to_tx.tx_tid to_tx.commit_ts
+  | Conflict_cycle txs ->
+    Printf.sprintf "conflict cycle over %d committed txs: %s" (List.length txs)
+      (String.concat " -> "
+         (List.map (fun tx -> Printf.sprintf "(core %d, ts %d)" tx.tx_tid tx.commit_ts) txs))
+
+let describe r =
+  Printf.sprintf
+    "checked %d clock reads, %d new_time calls, %d committed txs (%d aborted, %d conflict \
+     edges, %d ambiguous) against boundary %d ns: %s"
+    r.clock_reads r.new_times r.committed r.aborted r.edges r.ambiguous r.boundary
+    (if ok r then "OK" else Printf.sprintf "%d VIOLATIONS" (List.length r.violations))
+  :: List.map describe_violation r.violations

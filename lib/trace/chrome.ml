@@ -1,0 +1,94 @@
+(* Chrome trace_event JSON export (the "JSON Array Format" both
+   chrome://tracing and Perfetto load).  Spans become B/E duration pairs,
+   priced engine events become X complete-events with their cost as the
+   duration, invalidations and probes become instants.  Pauses are
+   counted in the per-core stats but skipped here — a spin loop would
+   bury everything else in the viewer. *)
+
+let escape b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Virtual-time ns -> trace_event µs. *)
+let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
+
+(* Engine times are absolute timeline values that accumulate across runs;
+   rebase the export so the viewer opens at t=0. *)
+let start_of (e : Trace.event) =
+  match e.kind with
+  | Trace.Transfer | Trace.Clock_read -> e.time - e.c
+  | Trace.Rmw_stall -> e.time - e.b
+  | _ -> e.time
+
+let base_time (t : Trace.t) =
+  Array.fold_left (fun m e -> min m (start_of e)) max_int t.events
+
+let add_event b ~first ~t0 (t : Trace.t) (e : Trace.event) =
+  let emit ~name ~cat ~ph ~ts ?dur ?args () =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b "{\"name\":\"";
+    escape b name;
+    Buffer.add_string b (Printf.sprintf "\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s" cat ph e.tid ts);
+    (match dur with None -> () | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" d));
+    (match ph with "i" -> Buffer.add_string b ",\"s\":\"t\"" | _ -> ());
+    (match args with
+    | None -> ()
+    | Some pairs ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "\"%s\":%d" k v))
+        pairs;
+      Buffer.add_char b '}');
+    Buffer.add_char b '}'
+  in
+  match e.kind with
+  | Trace.Span_begin -> emit ~name:(Trace.tag_name t e.a) ~cat:"app" ~ph:"B" ~ts:(us (e.time - t0)) ()
+  | Trace.Span_end -> emit ~name:(Trace.tag_name t e.a) ~cat:"app" ~ph:"E" ~ts:(us (e.time - t0)) ()
+  | Trace.Probe ->
+    emit ~name:(Trace.tag_name t e.a) ~cat:"app" ~ph:"i" ~ts:(us (e.time - t0))
+      ~args:[ ("a", e.b); ("b", e.c) ] ()
+  | Trace.Transfer ->
+    emit
+      ~name:("xfer." ^ Trace.class_name.(e.b))
+      ~cat:"mem" ~ph:"X"
+      ~ts:(us (e.time - e.c - t0))
+      ~dur:(us e.c)
+      ~args:[ ("line", e.a) ] ()
+  | Trace.Rmw_stall ->
+    emit ~name:"stall" ~cat:"mem" ~ph:"X"
+      ~ts:(us (e.time - e.b - t0))
+      ~dur:(us e.b)
+      ~args:[ ("line", e.a) ] ()
+  | Trace.Invalidate ->
+    emit ~name:"inval" ~cat:"mem" ~ph:"i" ~ts:(us (e.time - t0))
+      ~args:[ ("line", e.a); ("copies", e.b) ] ()
+  | Trace.Clock_read ->
+    emit ~name:"clock_read" ~cat:"clk" ~ph:"X"
+      ~ts:(us (e.time - e.c - t0))
+      ~dur:(us e.c)
+      ~args:[ ("value", e.a) ] ()
+  | Trace.Pause -> ()
+
+let to_string (t : Trace.t) =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let t0 = if Array.length t.events = 0 then 0 else base_time t in
+  Array.iter (fun e -> add_event b ~first ~t0 t e) t.events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b
+
+let write_file (t : Trace.t) path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

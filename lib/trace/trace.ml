@@ -1,0 +1,307 @@
+(* Deterministic event sink for the simulator (and, best-effort, the real
+   substrate).  Design constraints, in order:
+
+   - Off by default, and *free* when off: producers guard every emission
+     with a single read of [on], so a disabled sink costs one load and no
+     allocation on any hot path.
+   - Purely observational: recording never charges virtual time or draws
+     from the simulation RNG, so a traced run has bit-identical
+     [end_vtime]/event counts to an untraced one.
+   - Bounded memory: raw events go to fixed-capacity per-thread ring
+     buffers (oldest dropped first), while per-core and per-line counters
+     are maintained online at emission and therefore stay exact even when
+     the rings wrap. *)
+
+module Stats = Ordo_util.Stats
+
+type kind =
+  | Transfer  (** a = line id, b = transfer class, c = cost in ns *)
+  | Invalidate  (** a = line id, b = shared copies invalidated *)
+  | Rmw_stall  (** a = line id, b = ns spent waiting for the line *)
+  | Clock_read  (** a = clock value read, c = read cost in ns *)
+  | Pause  (** spin-wait hint *)
+  | Span_begin  (** a = tag id *)
+  | Span_end  (** a = tag id *)
+  | Probe  (** a = tag id, b/c = payload *)
+
+let kind_code = function
+  | Transfer -> 0
+  | Invalidate -> 1
+  | Rmw_stall -> 2
+  | Clock_read -> 3
+  | Pause -> 4
+  | Span_begin -> 5
+  | Span_end -> 6
+  | Probe -> 7
+
+let kind_of_code =
+  [| Transfer; Invalidate; Rmw_stall; Clock_read; Pause; Span_begin; Span_end; Probe |]
+
+(* Transfer classes (the [b] field of [Transfer]), matching the simulator's
+   latency tiers. *)
+let cls_l1 = 0
+let cls_llc = 1
+let cls_mesh = 2
+let cls_cross = 3
+let cls_mem = 4
+let n_classes = 5
+let class_name = [| "l1"; "llc"; "mesh"; "cross"; "mem" |]
+
+type event = { seq : int; time : int; tid : int; kind : kind; a : int; b : int; c : int }
+
+type core_stat = {
+  core : int;
+  transfers : int array;  (* indexed by transfer class *)
+  mutable invalidations : int;  (* invalidation broadcasts issued *)
+  mutable inval_copies : int;  (* shared copies those broadcasts killed *)
+  mutable stalls : int;
+  mutable stall_ns : int;
+  mutable clock_reads : int;
+  mutable pauses : int;
+  mutable probes : int;
+  transfer_lat : Stats.Online.t;
+}
+
+type line_stat = {
+  line : int;
+  mutable transfers : int;
+  mutable invalidations : int;
+  mutable stall_ns : int;
+  mutable transfer_ns : int;
+}
+
+type t = {
+  events : event array;  (* ascending (time, seq) *)
+  tags : string array;
+  dropped : int;
+  cores : core_stat array;  (* cores that emitted at least once, ascending id *)
+  lines : line_stat array;  (* hottest (busiest) first *)
+  names : (int * string) list;  (* user labels for line ids *)
+}
+
+(* ---- the sink ---- *)
+
+let stride = 6
+
+type buf = { data : int array; mutable emitted : int }
+
+type sink = {
+  capacity : int;
+  mutable bufs : buf option array;  (* indexed by tid; grown on demand *)
+  mutable core_stats : core_stat option array;
+  line_stats : (int, line_stat) Hashtbl.t;
+  tag_ids : (string, int) Hashtbl.t;
+  mutable tag_names : string array;
+  mutable n_tags : int;
+  line_names : (int, string) Hashtbl.t;
+  seq : int Atomic.t;
+  lock : Mutex.t;  (* guards growth and interning (real-substrate emits) *)
+}
+
+(* Producers read this one flag before doing anything else; [emit] still
+   re-checks the sink so a race with [stop] degrades to a dropped event. *)
+let on = ref false
+let sink : sink option ref = ref None
+let is_tracing () = Option.is_some !sink
+
+let start ?(capacity = 16_384) ?(threads = 64) () =
+  if capacity < 1 then invalid_arg "Trace.start: capacity must be >= 1";
+  if Option.is_some !sink then invalid_arg "Trace.start: already tracing";
+  sink :=
+    Some
+      {
+        capacity;
+        bufs = Array.make (max 1 threads) None;
+        core_stats = Array.make (max 1 threads) None;
+        line_stats = Hashtbl.create 64;
+        tag_ids = Hashtbl.create 32;
+        tag_names = Array.make 32 "";
+        n_tags = 0;
+        line_names = Hashtbl.create 8;
+        seq = Atomic.make 0;
+        lock = Mutex.create ();
+      };
+  on := true
+
+let grow array tid =
+  let n = Array.length array in
+  if tid < n then array
+  else begin
+    let bigger = Array.make (max (tid + 1) (2 * n)) None in
+    Array.blit array 0 bigger 0 n;
+    bigger
+  end
+
+let buf_of s tid =
+  match s.bufs.(tid) with
+  | Some b -> b
+  | None ->
+    let b = { data = Array.make (s.capacity * stride) 0; emitted = 0 } in
+    s.bufs.(tid) <- Some b;
+    b
+
+let core_of s tid =
+  match s.core_stats.(tid) with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        core = tid;
+        transfers = Array.make n_classes 0;
+        invalidations = 0;
+        inval_copies = 0;
+        stalls = 0;
+        stall_ns = 0;
+        clock_reads = 0;
+        pauses = 0;
+        probes = 0;
+        transfer_lat = Stats.Online.create ();
+      }
+    in
+    s.core_stats.(tid) <- Some c;
+    c
+
+let line_of s line =
+  match Hashtbl.find_opt s.line_stats line with
+  | Some l -> l
+  | None ->
+    let l = { line; transfers = 0; invalidations = 0; stall_ns = 0; transfer_ns = 0 } in
+    Hashtbl.add s.line_stats line l;
+    l
+
+let intern tag =
+  match !sink with
+  | None -> -1
+  | Some s ->
+    (match Hashtbl.find_opt s.tag_ids tag with
+    | Some id -> id
+    | None ->
+      Mutex.lock s.lock;
+      let id =
+        match Hashtbl.find_opt s.tag_ids tag with
+        | Some id -> id
+        | None ->
+          let id = s.n_tags in
+          if id >= Array.length s.tag_names then begin
+            let bigger = Array.make (2 * Array.length s.tag_names) "" in
+            Array.blit s.tag_names 0 bigger 0 id;
+            s.tag_names <- bigger
+          end;
+          s.tag_names.(id) <- tag;
+          s.n_tags <- id + 1;
+          Hashtbl.add s.tag_ids tag id;
+          id
+      in
+      Mutex.unlock s.lock;
+      id)
+
+let name_line line name =
+  match !sink with None -> () | Some s -> Hashtbl.replace s.line_names line name
+
+let emit ~tid ~time kind ~a ~b ~c =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    if tid >= Array.length s.bufs then begin
+      Mutex.lock s.lock;
+      s.bufs <- grow s.bufs tid;
+      s.core_stats <- grow s.core_stats tid;
+      Mutex.unlock s.lock
+    end;
+    let cs = core_of s tid in
+    (match kind with
+    | Transfer ->
+      cs.transfers.(b) <- cs.transfers.(b) + 1;
+      Stats.Online.add cs.transfer_lat (float_of_int c);
+      let ls = line_of s a in
+      ls.transfers <- ls.transfers + 1;
+      ls.transfer_ns <- ls.transfer_ns + c
+    | Invalidate ->
+      cs.invalidations <- cs.invalidations + 1;
+      cs.inval_copies <- cs.inval_copies + b;
+      let ls = line_of s a in
+      ls.invalidations <- ls.invalidations + 1
+    | Rmw_stall ->
+      cs.stalls <- cs.stalls + 1;
+      cs.stall_ns <- cs.stall_ns + b;
+      let ls = line_of s a in
+      ls.stall_ns <- ls.stall_ns + b
+    | Clock_read -> cs.clock_reads <- cs.clock_reads + 1
+    | Pause -> cs.pauses <- cs.pauses + 1
+    | Span_begin | Span_end | Probe -> cs.probes <- cs.probes + 1);
+    let buf = buf_of s tid in
+    let i = buf.emitted mod s.capacity * stride in
+    buf.data.(i) <- Atomic.fetch_and_add s.seq 1;
+    buf.data.(i + 1) <- time;
+    buf.data.(i + 2) <- kind_code kind;
+    buf.data.(i + 3) <- a;
+    buf.data.(i + 4) <- b;
+    buf.data.(i + 5) <- c;
+    buf.emitted <- buf.emitted + 1
+
+let stop () =
+  match !sink with
+  | None -> invalid_arg "Trace.stop: not tracing"
+  | Some s ->
+    on := false;
+    sink := None;
+    let events = ref [] and dropped = ref 0 in
+    Array.iteri
+      (fun tid buf ->
+        match buf with
+        | None -> ()
+        | Some b ->
+          let retained = min b.emitted s.capacity in
+          dropped := !dropped + (b.emitted - retained);
+          for k = b.emitted - retained to b.emitted - 1 do
+            let i = k mod s.capacity * stride in
+            events :=
+              {
+                seq = b.data.(i);
+                time = b.data.(i + 1);
+                tid;
+                kind = kind_of_code.(b.data.(i + 2));
+                a = b.data.(i + 3);
+                b = b.data.(i + 4);
+                c = b.data.(i + 5);
+              }
+              :: !events
+          done)
+      s.bufs;
+    let events = Array.of_list !events in
+    Array.sort (fun x y -> if x.time <> y.time then compare x.time y.time else compare x.seq y.seq) events;
+    let cores =
+      Array.to_list s.core_stats |> List.filter_map Fun.id
+      |> List.sort (fun a b -> compare a.core b.core)
+      |> Array.of_list
+    in
+    let heat l = l.transfer_ns + l.stall_ns in
+    let lines =
+      Hashtbl.fold (fun _ l acc -> l :: acc) s.line_stats []
+      |> List.sort (fun a b ->
+             if heat a <> heat b then compare (heat b) (heat a) else compare a.line b.line)
+      |> Array.of_list
+    in
+    {
+      events;
+      tags = Array.sub s.tag_names 0 s.n_tags;
+      dropped = !dropped;
+      cores;
+      lines;
+      names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.line_names [] |> List.sort compare;
+    }
+
+(* ---- queries on a collected trace ---- *)
+
+let tag_name t id = if id >= 0 && id < Array.length t.tags then t.tags.(id) else "?"
+
+let find_tag t name =
+  let rec scan i =
+    if i >= Array.length t.tags then None else if t.tags.(i) = name then Some i else scan (i + 1)
+  in
+  scan 0
+
+let line_label t line =
+  match List.assoc_opt line t.names with
+  | Some n -> n
+  | None -> Printf.sprintf "line#%d" line

@@ -1,0 +1,97 @@
+(** Deterministic event tracing for the Ordo substrates.
+
+    A process-global sink collects typed events from the simulator engine
+    (cache-line transfers, invalidations, RMW serialization stalls, clock
+    reads, spin pauses) and from algorithm code (spans and probes routed
+    through [Runtime_intf.S]).  Recording is off by default and free when
+    off: producers gate every emission on a single read of {!on}, and no
+    allocation happens on the disabled path.  Recording is purely
+    observational — it never charges virtual time or consumes simulation
+    randomness, so a traced run is bit-identical (same [end_vtime], same
+    event count) to an untraced one.
+
+    Raw events land in fixed-capacity per-thread ring buffers (oldest
+    dropped first, {!t.dropped} counts the loss); per-core and per-line
+    counters are updated online at emission and stay exact even after the
+    rings wrap. *)
+
+type kind =
+  | Transfer  (** a = line id, b = transfer class, c = cost in ns *)
+  | Invalidate  (** a = line id, b = shared copies invalidated *)
+  | Rmw_stall  (** a = line id, b = ns spent waiting for the line *)
+  | Clock_read  (** a = clock value read, c = read cost in ns *)
+  | Pause  (** spin-wait hint *)
+  | Span_begin  (** a = tag id *)
+  | Span_end  (** a = tag id *)
+  | Probe  (** a = tag id, b/c = payload *)
+
+(** Transfer classes ([b] of [Transfer]), the simulator's latency tiers. *)
+
+val cls_l1 : int
+val cls_llc : int
+val cls_mesh : int
+val cls_cross : int
+val cls_mem : int
+val n_classes : int
+val class_name : string array
+
+type event = { seq : int; time : int; tid : int; kind : kind; a : int; b : int; c : int }
+
+type core_stat = {
+  core : int;
+  transfers : int array;  (** indexed by transfer class *)
+  mutable invalidations : int;
+  mutable inval_copies : int;
+  mutable stalls : int;
+  mutable stall_ns : int;
+  mutable clock_reads : int;
+  mutable pauses : int;
+  mutable probes : int;
+  transfer_lat : Ordo_util.Stats.Online.t;
+}
+
+type line_stat = {
+  line : int;
+  mutable transfers : int;
+  mutable invalidations : int;
+  mutable stall_ns : int;
+  mutable transfer_ns : int;
+}
+
+type t = {
+  events : event array;  (** ascending (time, seq) *)
+  tags : string array;
+  dropped : int;  (** events lost to ring wrap-around (counters are exact) *)
+  cores : core_stat array;  (** cores that emitted at least once *)
+  lines : line_stat array;  (** hottest (busiest ns) first *)
+  names : (int * string) list;  (** user labels attached with [name_line] *)
+}
+
+val on : bool ref
+(** Producers must check [!on] before computing anything for an emission.
+    Toggled by {!start}/{!stop}; treat as read-only elsewhere. *)
+
+val is_tracing : unit -> bool
+
+val start : ?capacity:int -> ?threads:int -> unit -> unit
+(** Install the sink.  [capacity] is the per-thread ring size in events
+    (default 16384); [threads] pre-sizes the per-thread tables (they grow
+    on demand).  Raises [Invalid_argument] if already tracing. *)
+
+val stop : unit -> t
+(** Uninstall the sink and return the collected trace.
+    Raises [Invalid_argument] if not tracing. *)
+
+val emit : tid:int -> time:int -> kind -> a:int -> b:int -> c:int -> unit
+(** Record one event; no-op when no sink is installed. *)
+
+val intern : string -> int
+(** Tag id for a span/probe name (interned per recording session).
+    Returns [-1] when not tracing. *)
+
+val name_line : int -> string -> unit
+(** Attach a human label to a cache-line id for reports. *)
+
+val tag_name : t -> int -> string
+val find_tag : t -> string -> int option
+val line_label : t -> int -> string

@@ -21,9 +21,25 @@ let stddev a =
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
     sqrt (ss /. float_of_int (n - 1))
 
-let percentile sorted q =
-  let n = Array.length sorted in
+let is_sorted a =
+  let n = Array.length a in
+  let rec scan i = i >= n || (a.(i - 1) <= a.(i) && scan (i + 1)) in
+  scan 1
+
+(* Defensive: an unsorted input used to silently interpolate garbage.  The
+   O(n) sortedness check is free on the common already-sorted path (e.g.
+   from [summarize]); only unsorted inputs pay for a private sorted copy. *)
+let percentile a q =
+  let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted =
+    if is_sorted a then a
+    else begin
+      let copy = Array.copy a in
+      Array.sort compare copy;
+      copy
+    end
+  in
   if q <= 0.0 then sorted.(0)
   else if q >= 1.0 then sorted.(n - 1)
   else
@@ -72,4 +88,23 @@ module Online = struct
   let stddev t = if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
   let min t = t.min
   let max t = t.max
+
+  (* Chan et al.'s parallel Welford combination: merging per-core
+     accumulators gives the same mean/variance as one accumulator fed
+     every sample. *)
+  let merge a b =
+    if a.count = 0 then { count = b.count; mean = b.mean; m2 = b.m2; min = b.min; max = b.max }
+    else if b.count = 0 then { count = a.count; mean = a.mean; m2 = a.m2; min = a.min; max = a.max }
+    else begin
+      let count = a.count + b.count in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let delta = b.mean -. a.mean in
+      {
+        count;
+        mean = a.mean +. (delta *. fb /. float_of_int count);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int count);
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      }
+    end
 end

@@ -17,7 +17,10 @@ val summarize : float array -> summary
     Raises [Invalid_argument] on an empty array. *)
 
 val percentile : float array -> float -> float
-(** [percentile sorted q] with [q] in [\[0,1\]]; the array must be sorted. *)
+(** [percentile a q] with [q] in [\[0,1\]].  Pass a sorted array for the
+    O(n) fast path; an unsorted input is detected and sorted into a
+    private copy (the input is never modified).
+    Raises [Invalid_argument] on an empty array. *)
 
 val mean : float array -> float
 val stddev : float array -> float
@@ -33,4 +36,9 @@ module Online : sig
   val stddev : t -> float
   val min : t -> float
   val max : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two accumulators (e.g. per-core partials) into a fresh one
+      equivalent to having fed every sample of both.  Neither input is
+      modified. *)
 end

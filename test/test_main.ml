@@ -11,5 +11,6 @@ let () =
       ("oplog", Test_oplog.suite);
       ("stm", Test_stm.suite);
       ("db", Test_db.suite);
+      ("trace", Test_trace.suite);
       ("shapes", Test_shapes.suite);
     ]

@@ -1,0 +1,256 @@
+(* Tests for the Ordo_trace subsystem: determinism of the observational
+   sink, exactness of the online counters under ring wrap-around, Chrome
+   export well-formedness, and the offline ordering-invariant checker
+   (positive on a clean OCC history, negative on injected clock skew and
+   on synthetic violations). *)
+
+module Machine = Ordo_sim.Machine
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+module Engine = Ordo_sim.Engine
+module Rng = Ordo_util.Rng
+module Trace = Ordo_trace.Trace
+module Metrics = Ordo_trace.Metrics
+module Chrome = Ordo_trace.Chrome
+module Checker = Ordo_trace.Checker
+
+let check = Alcotest.check
+
+(* A small contended workload: every thread hammers one shared counter.
+   Deterministic for a fixed machine/thread count. *)
+let counter_race ?(threads = 8) ?(iters = 300) machine =
+  let c = R.cell 0 in
+  Sim.run machine ~threads (fun _ ->
+      for _ = 1 to iters do
+        ignore (R.fetch_add c 1 : int)
+      done)
+
+(* ---- determinism: tracing is purely observational ---- *)
+
+let test_trace_is_observational () =
+  let plain = counter_race Machine.amd in
+  Trace.start ();
+  let traced = counter_race Machine.amd in
+  let t = Trace.stop () in
+  check Alcotest.int "same end_vtime" plain.Engine.end_vtime traced.Engine.end_vtime;
+  check Alcotest.int "same event count" plain.Engine.events traced.Engine.events;
+  check Alcotest.bool "trace not empty" true (Array.length t.Trace.events > 0)
+
+(* ---- engine instrumentation sanity ---- *)
+
+let test_engine_counters () =
+  Trace.start ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let t = Trace.stop () in
+  let total, lat = Metrics.totals t in
+  check Alcotest.bool "transfers recorded" true (Metrics.transfers_total total > 0);
+  check Alcotest.bool "invalidations recorded" true (total.Trace.invalidations > 0);
+  check Alcotest.bool "rmw stalls recorded" true (total.Trace.stall_ns > 0);
+  check Alcotest.bool "latency samples" true (Ordo_util.Stats.Online.count lat > 0);
+  (* events arrive sorted by (time, seq) *)
+  let sorted = ref true in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      if i > 0 then begin
+        let p = t.Trace.events.(i - 1) in
+        if p.time > e.time || (p.time = e.time && p.seq > e.seq) then sorted := false
+      end)
+    t.Trace.events;
+  check Alcotest.bool "events sorted" true !sorted
+
+let test_clock_reads_traced () =
+  Trace.start ();
+  ignore
+    (Sim.run Machine.amd ~threads:4 (fun _ ->
+         for _ = 1 to 50 do
+           ignore (R.get_time () : int)
+         done)
+      : Engine.stats);
+  let t = Trace.stop () in
+  let total, _ = Metrics.totals t in
+  check Alcotest.int "all clock reads captured" 200 total.Trace.clock_reads
+
+(* ---- ring wrap: events drop, counters stay exact ---- *)
+
+let test_ring_wrap_counters_exact () =
+  Trace.start ~capacity:16 ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let small = Trace.stop () in
+  Trace.start ~capacity:65_536 ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let big = Trace.stop () in
+  check Alcotest.bool "small ring dropped events" true (small.Trace.dropped > 0);
+  check Alcotest.int "big ring dropped nothing" 0 big.Trace.dropped;
+  let ts, _ = Metrics.totals small and tb, _ = Metrics.totals big in
+  check Alcotest.int "transfer counters exact under wrap"
+    (Metrics.transfers_total tb) (Metrics.transfers_total ts);
+  check Alcotest.int "invalidation counters exact under wrap"
+    tb.Trace.invalidations ts.Trace.invalidations
+
+(* ---- hottest-line report ---- *)
+
+let test_hottest_lines () =
+  Trace.start ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let t = Trace.stop () in
+  let hot = Metrics.hottest ~n:3 t in
+  check Alcotest.bool "at least one hot line" true (hot <> []);
+  check Alcotest.bool "at most three" true (List.length hot <= 3);
+  let busy (l : Trace.line_stat) = l.transfer_ns + l.stall_ns in
+  let rec descending = function
+    | a :: (b :: _ as rest) -> busy a >= busy b && descending rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted by heat" true (descending hot)
+
+(* ---- spans and Chrome export ---- *)
+
+let test_chrome_export () =
+  Trace.start ();
+  ignore
+    (Sim.run Machine.amd ~threads:4 (fun _ ->
+         for _ = 1 to 20 do
+           R.span_begin "test.section";
+           R.probe "test.tick" 1 2;
+           R.work 30;
+           R.span_end "test.section"
+         done)
+      : Engine.stats);
+  let t = Trace.stop () in
+  let json = Chrome.to_string t in
+  check Alcotest.bool "json object wrapper" true
+    (String.length json > 16 && String.sub json 0 16 = {|{"traceEvents":[|});
+  let count_sub sub =
+    let n = ref 0 and len = String.length sub in
+    for i = 0 to String.length json - len do
+      if String.sub json i len = sub then incr n
+    done;
+    !n
+  in
+  let begins = count_sub {|"ph":"B"|} and ends = count_sub {|"ph":"E"|} in
+  check Alcotest.bool "spans present" true (begins > 0);
+  check Alcotest.int "begin/end balanced" begins ends;
+  check Alcotest.bool "probes present" true (count_sub {|"ph":"i"|} > 0)
+
+(* ---- checker: positive and negative ---- *)
+
+let measure_boundary m =
+  let module E = (val Sim.exec m) in
+  let module B = Ordo_core.Boundary.Make (E) in
+  B.measure ~runs:20 ~cores:[ 0; 7; 8; 15; 16; 24; 31 ] ()
+
+let occ_workload machine ~boundary ~threads ~dur =
+  let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module C = Ordo_db.Occ.Make (R) (T) in
+  let db = C.create ~threads ~rows:12 () in
+  let module X = Ordo_db.Cc_intf.Execute (R) (C) in
+  ignore
+    (Sim.run machine ~threads (fun i ->
+         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
+         while R.now () < dur do
+           X.run db (fun tx ->
+               let k1 = Rng.int rng 12 and k2 = Rng.int rng 12 in
+               let v = C.read tx k1 in
+               if Rng.int rng 100 < 60 then C.write tx k2 (v + 1))
+         done)
+      : Engine.stats)
+
+let test_checker_occ_clean () =
+  let machine = Machine.amd in
+  let boundary = measure_boundary machine in
+  Trace.start ();
+  occ_workload machine ~boundary ~threads:8 ~dur:60_000;
+  let t = Trace.stop () in
+  let r = Checker.check ~boundary t in
+  check Alcotest.bool "history passes" true (Checker.ok r);
+  check Alcotest.bool "clock reads seen" true (r.Checker.clock_reads > 0);
+  check Alcotest.bool "new_time calls seen" true (r.Checker.new_times > 0);
+  check Alcotest.bool "transactions reconstructed" true (r.Checker.committed > 0);
+  check Alcotest.bool "conflict edges found" true (r.Checker.edges > 0)
+
+let inject_skew (m : Machine.t) extra =
+  let per_socket = m.Machine.topo.Ordo_util.Topology.cores_per_socket in
+  {
+    m with
+    Machine.reset_ns =
+      Array.mapi
+        (fun p r -> if p / per_socket > 0 then r + extra else r)
+        m.Machine.reset_ns;
+  }
+
+let test_checker_detects_skew () =
+  let machine = Machine.amd in
+  (* Boundary measured before the skew appears — the Ordo deployment
+     assumption the checker exists to police. *)
+  let boundary = measure_boundary machine in
+  let skewed = inject_skew machine (boundary + 5_000) in
+  Trace.start ();
+  occ_workload skewed ~boundary ~threads:8 ~dur:60_000;
+  let t = Trace.stop () in
+  let r = Checker.check ~boundary t in
+  check Alcotest.bool "skew detected" false (Checker.ok r);
+  let has_inversion =
+    List.exists
+      (function Checker.Clock_inversion _ -> true | _ -> false)
+      r.Checker.violations
+  in
+  check Alcotest.bool "clock inversion reported" true has_inversion;
+  (* the report names the offending event pair *)
+  List.iter
+    (function
+      | Checker.Clock_inversion { earlier; later; delta } ->
+        check Alcotest.bool "physical order holds" true
+          (earlier.Trace.time <= later.Trace.time);
+        check Alcotest.bool "delta exceeds boundary" true (delta > boundary)
+      | _ -> ())
+    r.Checker.violations;
+  let contains hay needle =
+    let nl = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length hay - nl do
+      if String.sub hay i nl = needle then found := true
+    done;
+    !found
+  in
+  check Alcotest.bool "describe names the offending pair" true
+    (List.exists (fun line -> contains line "core") (Checker.describe r))
+
+let test_checker_new_time_short () =
+  Trace.start ();
+  ignore
+    (Sim.run Machine.amd ~threads:1 (fun _ ->
+         (* a forged new_time probe whose result does not clear t + boundary *)
+         R.probe "ordo.new_time" 1000 1100)
+      : Engine.stats);
+  let t = Trace.stop () in
+  let r = Checker.check ~boundary:200 t in
+  let short =
+    List.exists
+      (function
+        | Checker.New_time_short { arg = 1000; result = 1100; _ } -> true
+        | _ -> false)
+      r.Checker.violations
+  in
+  check Alcotest.bool "short new_time flagged" true short
+
+let test_checker_empty_trace () =
+  Trace.start ();
+  let t = Trace.stop () in
+  let r = Checker.check ~boundary:100 t in
+  check Alcotest.bool "empty trace passes" true (Checker.ok r);
+  check Alcotest.int "no reads" 0 r.Checker.clock_reads
+
+let suite =
+  [
+    ("tracing is observational", `Quick, test_trace_is_observational);
+    ("engine counters", `Quick, test_engine_counters);
+    ("clock reads traced", `Quick, test_clock_reads_traced);
+    ("ring wrap keeps counters exact", `Quick, test_ring_wrap_counters_exact);
+    ("hottest lines sorted", `Quick, test_hottest_lines);
+    ("chrome export balanced", `Quick, test_chrome_export);
+    ("checker passes clean OCC", `Quick, test_checker_occ_clean);
+    ("checker detects injected skew", `Quick, test_checker_detects_skew);
+    ("checker flags short new_time", `Quick, test_checker_new_time_short);
+    ("checker on empty trace", `Quick, test_checker_empty_trace);
+  ]

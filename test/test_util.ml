@@ -169,6 +169,46 @@ let test_stats_empty () =
   Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty")
     (fun () -> ignore (Stats.summarize [||]))
 
+let test_stats_percentile_unsorted () =
+  (* Defensive: percentile must give the order statistic even if the
+     caller forgot to sort, and must not mutate the input. *)
+  let a = [| 30.0; 10.0; 40.0; 20.0 |] in
+  let before = Array.copy a in
+  check feq "p50 on unsorted input" 25.0 (Stats.percentile a 0.5);
+  check feq "p100 on unsorted input" 40.0 (Stats.percentile a 1.0);
+  check Alcotest.bool "input left unmodified" true (a = before)
+
+let test_online_merge =
+  qtest "Online.merge equals accumulating the concatenation"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (float_range (-1000.) 1000.))
+        (list_size (int_range 0 60) (float_range (-1000.) 1000.)))
+    (fun (l1, l2) ->
+      let acc l =
+        let o = Stats.Online.create () in
+        List.iter (Stats.Online.add o) l;
+        o
+      in
+      let merged = Stats.Online.merge (acc l1) (acc l2) in
+      let whole = acc (l1 @ l2) in
+      let feq a b = Float.abs (a -. b) < 1e-6 || (Float.is_nan a && Float.is_nan b) in
+      Stats.Online.count merged = Stats.Online.count whole
+      && feq (Stats.Online.mean merged) (Stats.Online.mean whole)
+      && feq (Stats.Online.stddev merged) (Stats.Online.stddev whole)
+      && (Stats.Online.count whole = 0
+         || feq (Stats.Online.min merged) (Stats.Online.min whole)
+            && feq (Stats.Online.max merged) (Stats.Online.max whole)))
+
+let test_online_merge_empty () =
+  let empty = Stats.Online.create () in
+  let one = Stats.Online.create () in
+  Stats.Online.add one 42.0;
+  check Alcotest.int "empty+x count" 1 (Stats.Online.count (Stats.Online.merge empty one));
+  check feq "empty+x mean" 42.0 (Stats.Online.mean (Stats.Online.merge empty one));
+  check feq "x+empty mean" 42.0 (Stats.Online.mean (Stats.Online.merge one empty));
+  check Alcotest.int "empty+empty" 0 (Stats.Online.count (Stats.Online.merge empty empty))
+
 let test_online_matches_offline =
   qtest "online mean/stddev match offline"
     QCheck2.Gen.(list_size (int_range 2 100) (float_range (-1000.) 1000.))
@@ -237,7 +277,10 @@ let suite =
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats stddev", `Quick, test_stats_stddev);
     ("stats empty", `Quick, test_stats_empty);
+    ("stats percentile unsorted", `Quick, test_stats_percentile_unsorted);
     test_online_matches_offline;
+    test_online_merge;
+    ("online merge empty", `Quick, test_online_merge_empty);
     ("topology presets", `Quick, test_topology_presets);
     ("topology numbering", `Quick, test_topology_numbering);
     test_topology_mapping_invariants;

@@ -718,3 +718,129 @@ let ablate_pairwise ~full =
   in
   Report.kv "memory cost of the full table (the paper's objection)"
     (Printf.sprintf "%d^2 = %d words (vs 1)" (Topology.total_threads topo) words_full)
+
+(* ---------- Extension: clock-fault dip and recovery -------------------- *)
+
+let ext_hazard ~full =
+  Report.section
+    "Extension: clock faults under the boundary guard - throughput dip and recovery (AMD)";
+  (* Windowed throughput of an OCC workload through a dvfs clock fault:
+     the hazard-free guarded run sets the baseline (the guard's sampling
+     overhead is the gap to it); the guarded runs absorb the fault and
+     keep the checker green (inflate recovers, fallback pays the shared
+     counter forever after); the unguarded run keeps its throughput and
+     silently corrupts ordering - which only the offline checker sees. *)
+  let module Scenario = Ordo_hazard.Scenario in
+  let module Timeline = Ordo_hazard.Timeline in
+  let module Trace = Ordo_trace.Trace in
+  let module Checker = Ordo_trace.Checker in
+  let module Guard = Ordo_core.Guard in
+  let m = Machine.amd in
+  let boundary = H.boundary_of m in
+  let threads = 16 in
+  let dur = if full then 480_000 else 240_000 in
+  let windows = 12 in
+  let window = dur / windows in
+  let scenario () =
+    match Scenario.by_name "dvfs" with
+    | Some mk -> mk ~seed:1 ~dur ~threads m.Machine.topo
+    | None -> failwith "dvfs scenario missing"
+  in
+  let guarded_ts pol () : (module Ordo_core.Timestamp.S) =
+    let module G =
+      Guard.Make
+        (R)
+        (struct
+          include Guard.Defaults
+
+          let boundary = boundary
+          let policy = pol
+        end)
+    in
+    (module Ordo_core.Timestamp.Ordo_source (G))
+  in
+  let run ?scenario ~guarded mk_ts =
+    let module TS = (val mk_ts () : Ordo_core.Timestamp.S) in
+    let module C = Ordo_db.Occ.Make (R) (TS) in
+    let db = C.create ~threads ~rows:48 () in
+    let module X = Ordo_db.Cc_intf.Execute (R) (C) in
+    let wins = Array.make windows 0 in
+    (* The summary needs the *first* hazard and detection, so the ring
+       must hold the whole run - size it to the duration, not the default. *)
+    Trace.start ~capacity:262_144 ~threads:(Topology.total_threads m.Machine.topo) ();
+    ignore
+      (Sim.run ?scenario m ~threads (fun i ->
+           let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
+           while R.now () < dur do
+             X.run db (fun tx ->
+                 let k1 = Rng.int rng 48 and k2 = Rng.int rng 48 in
+                 let v = C.read tx k1 in
+                 if Rng.int rng 100 < 60 then C.write tx k2 (v + 1));
+             let w = min (R.now () / window) (windows - 1) in
+             wins.(w) <- wins.(w) + 1
+           done)
+        : Ordo_sim.Engine.stats);
+    let t = Trace.stop () in
+    if t.Trace.dropped > 0 then
+      Report.kv "trace events dropped (timeline may start late)"
+        (string_of_int t.Trace.dropped);
+    let summary = Timeline.summarize t in
+    let report =
+      if guarded then Checker.check_guard ~boundary t else Checker.check ~boundary t
+    in
+    (* Engine virtual time accumulates across the runs of one process;
+       anchor reported times to this run's first event. *)
+    let t0 =
+      if Array.length t.Trace.events > 0 then t.Trace.events.(0).Trace.time else 0
+    in
+    (wins, summary, Checker.ok report, t0)
+  in
+  let configs =
+    [
+      ("no fault, guarded", None, true, guarded_ts Guard.Inflate);
+      ("dvfs, guard:inflate", Some (scenario ()), true, guarded_ts Guard.Inflate);
+      ("dvfs, guard:fallback", Some (scenario ()), true, guarded_ts Guard.Fallback);
+      ("dvfs, unguarded", Some (scenario ()), false, fun () -> H.ordo_ts ~boundary m);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, scenario, guarded, mk_ts) ->
+        let wins, summary, ok, t0 = run ?scenario ~guarded mk_ts in
+        (label, wins, summary, ok, t0))
+      configs
+  in
+  Report.series
+    ~title:
+      (Printf.sprintf "OCC txn/us per %d ns window (%d threads, boundary %d ns)" window
+         threads boundary)
+    ~xlabel:"window end (ns)"
+    ~cols:(List.map (fun (l, _, _, _, _) -> l) results)
+    (List.init windows (fun w ->
+         ( (w + 1) * window,
+           List.map
+             (fun (_, wins, _, _, _) ->
+               float_of_int wins.(w) /. (float_of_int window /. 1000.))
+             results )));
+  let rows =
+    List.map
+      (fun (label, _, s, ok, t0) ->
+        [
+          label;
+          (if ok then "pass" else "FAIL");
+          string_of_int s.Timeline.detections;
+          (match s.Timeline.detection_latency with
+          | Some l -> string_of_int l
+          | None -> "-");
+          (match s.Timeline.final_bound with Some b -> string_of_int b | None -> "-");
+          (match s.Timeline.fallback_at with
+          | Some at -> string_of_int (at - t0)
+          | None -> "-");
+        ])
+      results
+  in
+  Report.table
+    ~title:"offline checker verdict and guard reaction per configuration"
+    ~header:
+      [ "config"; "checker"; "detections"; "latency (ns)"; "final bound"; "fallback at" ]
+    rows

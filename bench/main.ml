@@ -29,6 +29,7 @@ let experiments : (string * string * (full:bool -> unit)) list =
     ("ablate_uncertain", "Ablation: OCC_ORDO boundary inflation", Experiments.ablate_uncertain);
     ("ablate_rlu_margin", "Ablation: RLU commit margin", Experiments.ablate_rlu_margin);
     ("trace", "Observability: coherence traffic of timestamp generation", Report.trace_report);
+    ("hazard", "Extension: clock-fault dip and recovery under the guard", Experiments.ext_hazard);
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
   ]
 

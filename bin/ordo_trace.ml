@@ -17,21 +17,12 @@ module Trace = Ordo_trace.Trace
 module Metrics = Ordo_trace.Metrics
 module Chrome = Ordo_trace.Chrome
 module Checker = Ordo_trace.Checker
+module Workloads = Ordo_workloads.Workloads
 
-(* Sampled hardware threads for the boundary measurement (same shape as
-   the bench harness: every socket covered, quadratic pair count kept
-   small). *)
-let sample_cores (m : Machine.t) =
-  let topo = m.Machine.topo in
-  let total = Topology.total_threads topo in
-  let stride = max 1 (total / 12) in
-  let picks = List.filter (fun i -> i mod stride = 0) (List.init total Fun.id) in
-  List.sort_uniq compare ((Topology.physical_cores topo - 1) :: (total - 1) :: picks)
+(* Workload bodies and boundary measurement live in {!Workloads},
+   shared with the hazard CLI. *)
 
-let measure_boundary m =
-  let module E = (val Sim.exec m) in
-  let module B = Ordo_core.Boundary.Make (E) in
-  B.measure ~runs:40 ~cores:(sample_cores m) ()
+let measure_boundary = Workloads.measure_boundary
 
 (* Clone a machine with [extra] ns added to every non-zero socket's clock
    reset — skew the boundary measurement never saw. *)
@@ -52,101 +43,8 @@ let ordo_ts boundary : (module Ordo_core.Timestamp.S) =
 let logical_ts () : (module Ordo_core.Timestamp.S) =
   (module Ordo_core.Timestamp.Logical (R) ())
 
-(* ---- workloads ----
-
-   Threads are placed contiguously on hardware threads [0 .. n-1]; rows
-   are few so transactions conflict and the conflict graph is dense. *)
-
-let db_rows = 48
-
-let db_workload (module C : Ordo_db.Cc_intf.S) machine ~threads ~dur =
-  let db = C.create ~threads ~rows:db_rows () in
-  let module X = Ordo_db.Cc_intf.Execute (R) (C) in
-  ignore
-    (Sim.run machine ~threads (fun i ->
-         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
-         while R.now () < dur do
-           X.run db (fun tx ->
-               let k1 = Rng.int rng db_rows and k2 = Rng.int rng db_rows in
-               let v = C.read tx k1 in
-               if Rng.int rng 100 < 60 then C.write tx k2 (v + 1))
-         done)
-      : Engine.stats);
-  Report.kv "commits/aborts"
-    (Printf.sprintf "%d/%d" (C.stats_commits db) (C.stats_aborts db))
-
-let tl2_workload machine ts ~threads ~dur =
-  let module T = (val ts : Ordo_core.Timestamp.S) in
-  let module Stm = Ordo_stm.Tl2.Make (R) (T) in
-  let stm = Stm.create ~threads () in
-  let tvars = Array.init db_rows (fun _ -> Stm.tvar 0) in
-  ignore
-    (Sim.run machine ~threads (fun i ->
-         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
-         while R.now () < dur do
-           Stm.atomically stm (fun tx ->
-               let k1 = Rng.int rng db_rows and k2 = Rng.int rng db_rows in
-               let v = Stm.read tx tvars.(k1) in
-               if Rng.int rng 100 < 60 then Stm.write tx tvars.(k2) (v + 1))
-         done)
-      : Engine.stats);
-  Report.kv "commits/aborts"
-    (Printf.sprintf "%d/%d" (Stm.stats_commits stm) (Stm.stats_aborts stm))
-
-let rlu_workload machine ts ~threads ~dur =
-  let module T = (val ts : Ordo_core.Timestamp.S) in
-  let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
-  let rlu = Rlu.create ~threads () in
-  let objs = Array.init 16 (fun _ -> Rlu.obj 0) in
-  ignore
-    (Sim.run machine ~threads (fun i ->
-         let rng = Rng.create ~seed:(Int64.of_int ((i * 31) + 7)) () in
-         while R.now () < dur do
-           let k = Rng.int rng (Array.length objs) in
-           if Rng.int rng 100 < 20 then begin
-             Rlu.reader_lock rlu;
-             if Rlu.try_update rlu objs.(k) (fun v -> v + 1) then Rlu.reader_unlock rlu
-             else Rlu.abort rlu
-           end
-           else begin
-             Rlu.reader_lock rlu;
-             ignore (Rlu.deref rlu objs.(k) : int);
-             Rlu.reader_unlock rlu
-           end
-         done)
-      : Engine.stats);
-  Report.kv "commits/aborts/syncs"
-    (Printf.sprintf "%d/%d/%d" (Rlu.stats_commits rlu) (Rlu.stats_aborts rlu)
-       (Rlu.stats_syncs rlu))
-
-let oplog_workload machine ts ~threads ~dur =
-  let module T = (val ts : Ordo_core.Timestamp.S) in
-  let module Oplog = Ordo_oplog.Oplog.Make (R) (T) in
-  let log = Oplog.create ~threads () in
-  let applied = ref 0 in
-  ignore
-    (Sim.run machine ~threads (fun i ->
-         let n = ref 0 in
-         while R.now () < dur do
-           Oplog.append log (i, !n);
-           incr n;
-           if i = 0 && !n mod 64 = 0 then
-             applied := !applied + Oplog.synchronize log ~apply:(fun _ -> ())
-         done)
-      : Engine.stats);
-  Report.kv "merged entries" (string_of_int !applied)
-
 let run_workload name machine ts ~threads ~dur =
-  let module T = (val ts : Ordo_core.Timestamp.S) in
-  match name with
-  | "occ" -> db_workload (module Ordo_db.Occ.Make (R) (T)) machine ~threads ~dur
-  | "hekaton" -> db_workload (module Ordo_db.Hekaton.Make (R) (T)) machine ~threads ~dur
-  | "tl2" -> tl2_workload machine ts ~threads ~dur
-  | "rlu" -> rlu_workload machine ts ~threads ~dur
-  | "oplog" -> oplog_workload machine ts ~threads ~dur
-  | _ ->
-    Printf.eprintf "unknown workload %S (available: occ hekaton tl2 rlu oplog)\n" name;
-    exit 2
+  ignore (Workloads.run name machine ts ~threads ~dur : Engine.stats)
 
 (* ---- driver ---- *)
 

@@ -1,0 +1,284 @@
+(* Runtime boundary guard: Ordo's API with reflexes.
+
+   Ordo's correctness rests on assumptions that are checked once, at
+   boundary-measurement time, and then trusted forever: clocks are
+   invariant (constant rate) and their mutual skew never exceeds the
+   measured ORDO_BOUNDARY.  This module wraps the primitive so those
+   assumptions are *continuously* validated while stamps are issued, and
+   reacts before a poisoned timestamp escapes to the application:
+
+   detection — two channels, both cheap:
+
+   - a watchdog (the moral equivalent of Linux's clocksource watchdog):
+     each issued stamp is compared against the substrate's reference
+     timebase through a per-thread offset learned at startup.  A healthy
+     invariant clock keeps [clock - reference] constant, so rate drift
+     and step jumps show up directly, with no cross-core staleness term.
+     An interrupt-like delay can fake a deviation for one reading, so a
+     deviation must survive [confirm] consecutive re-reads before it
+     counts — and the stamp is *withheld* until it passes or the hazard
+     is confirmed, so no stamp with an unconfirmed deviation beyond the
+     watchdog threshold is ever issued;
+   - sampled one-way probes: every [publish_period]-th stamp is
+     published through a shared line ([cas]-max), and the publisher
+     cross-validates its own reading against the published maximum —
+     the live version of the offset-matrix measurement.  A spread beyond
+     the current boundary means the matrix no longer covers reality.
+
+   reaction — the configured policy, always starting with inflation:
+
+   - [Inflate]: grow the boundary by at least the observed excess.  The
+     watchdog tolerance widens with the inflated bound (backoff against
+     re-detecting an already-absorbed drift).  The bound is *monotone*: it
+     never shrinks, so a comparison made at any time after a stamp was
+     issued uses a bound at least as large as the issue-time bound —
+     that monotonicity is what makes certain [cmp_time] answers stable;
+   - [Remeasure]: inflate, then ask a recalibration hook for a fresh
+     boundary (asynchronous full remeasurement in a real deployment) and
+     adopt it if larger.  Never smaller: see monotonicity above;
+   - [Fallback]: inflate, then degrade to a shared logical clock.  The
+     winner of the mode flip scans every thread's last-issued stamp and
+     seeds the logical counter beyond all of them plus the bound, so no
+     pre-degradation stamp can be certainly-after any post-degradation
+     stamp.  The flip-then-scan order closes the race with in-flight
+     issues: a thread records its stamp in [last] *before* re-checking
+     the mode, so any stamp that escaped the flip is visible to the
+     scan.  Fallback stamps come from one shared cell — the scalability
+     price Ordo exists to avoid, which is exactly what the bench's
+     dip-and-recovery experiment shows.
+
+   The guard implements [Ordo.S], so every retrofitted system (RLU, OCC,
+   Hekaton, TL2, Oplog) runs unmodified on top of it. *)
+
+module T = Ordo_trace.Trace
+
+type policy =
+  | Inflate
+  | Remeasure of (excess:int -> boundary:int -> int)
+  | Fallback
+
+module type CONFIG = sig
+  val boundary : int  (* the measured ORDO_BOUNDARY; must be > 0 *)
+
+  val policy : policy
+
+  val watchdog_divisor : int
+  (* watchdog tolerance starts at [max 8 (boundary / divisor)] and widens
+     with the inflated bound, capped at [boundary / 4]: escaped stamps
+     deviate by at most the tolerance, and [2 * (boundary/4) + skew <
+     boundary] holds for every machine whose skew is below half of its
+     boundary. *)
+
+  val confirm : int  (* consecutive deviating re-reads before a watchdog detection *)
+  val publish_period : int  (* issue every n-th stamp as a one-way probe *)
+  val max_threads : int  (* slots for per-thread state; tids are folded modulo this *)
+end
+
+module Defaults = struct
+  let policy = Inflate
+  let watchdog_divisor = 8
+  let confirm = 4
+  let publish_period = 8
+  let max_threads = 256
+end
+
+module type S = sig
+  include Ordo.S
+
+  val current_boundary : unit -> int
+  (* the live (possibly inflated) bound; [boundary] stays the configured floor *)
+
+  val in_fallback : unit -> bool
+  val violations : unit -> int
+end
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (C : CONFIG) : S = struct
+  let boundary =
+    if C.boundary <= 0 then invalid_arg "Guard.Make: boundary must be positive";
+    if C.confirm < 1 then invalid_arg "Guard.Make: confirm must be >= 1";
+    if C.publish_period < 1 then invalid_arg "Guard.Make: publish_period must be >= 1";
+    if C.max_threads < 1 then invalid_arg "Guard.Make: max_threads must be >= 1";
+    C.boundary
+
+  let thr_floor = max 8 (boundary / max 1 C.watchdog_divisor)
+  let thr_cap = max thr_floor (boundary / 4)
+  let add_sat a b = if a > max_int - b then max_int else a + b
+
+  (* shared state, one line each *)
+  let bound = R.cell boundary  (* current bound; only ever grows *)
+  let mode = R.cell 0  (* 0 = ordo, 1 = logical fallback *)
+  let fb_ready = R.cell 0  (* fallback counter seeded and safe to read *)
+  let fb_clock = R.cell 0
+  let published = R.cell 0  (* cas-max of sampled published stamps *)
+  let viol = R.cell 0
+
+  (* per-thread lines *)
+  let last = Array.init C.max_threads (fun _ -> R.cell 0)  (* own largest issued stamp *)
+  let offs = Array.init C.max_threads (fun _ -> R.cell min_int)  (* watchdog baseline *)
+  let ops = Array.init C.max_threads (fun _ -> R.cell 1)  (* publish countdown *)
+
+  let slot () = R.tid () mod C.max_threads
+
+  let rec cas_max c v =
+    let cur = R.read c in
+    if v > cur && not (R.cas c cur v) then cas_max c v
+
+  (* Watchdog tolerance: widens as the bound inflates (backoff — an
+     already-detected drift should not chatter), but never beyond a
+     quarter of the floor boundary, so a pair of escaped stamps plus the
+     machine's skew always stays under the inflated bound. *)
+  let thr_now () =
+    min thr_cap (max thr_floor (R.read bound / max 1 C.watchdog_divisor))
+
+  let current_boundary () = R.read bound
+  let in_fallback () = R.read mode <> 0
+  let violations () = R.read viol
+
+  (* Watchdog baseline: [clock - reference] for this thread, the minimum
+     of a few samples so an interrupt-like delay on the very first read
+     cannot poison the reference.  Learned on a healthy clock — the same
+     assumption the boundary measurement itself makes. *)
+  let baseline i =
+    let best = ref max_int in
+    for _ = 1 to 3 do
+      let t0 = R.now () in
+      let raw = R.get_time () in
+      if raw - t0 < !best then best := raw - t0
+    done;
+    R.write offs.(i) !best;
+    !best
+
+  let off_of i =
+    let o = R.read offs.(i) in
+    if o = min_int then baseline i else o
+
+  let enter_fallback ~own =
+    if R.read mode = 0 && R.cas mode 0 1 then begin
+      (* Flip first, scan second: any thread that issued a stamp without
+         seeing the flip wrote it to [last] before its own mode re-check,
+         so the scan cannot miss it. *)
+      let b = R.read bound in
+      let mx = ref (max own (R.read published)) in
+      for i = 0 to C.max_threads - 1 do
+        let v = R.read last.(i) in
+        if v > !mx then mx := v
+      done;
+      cas_max fb_clock (add_sat !mx (add_sat b 1));
+      R.write fb_ready 1;
+      R.probe T.tag_guard_fallback (R.read fb_clock) b
+    end
+
+  let detect ~own ~excess =
+    let b = R.read bound in
+    ignore (R.fetch_add viol 1 : int);
+    R.probe T.tag_guard_violation excess b;
+    (* Additive: the bound must track the total absorbed displacement
+       (multiplicative growth under a persistent rate drift would race to
+       infinity and starve new_time); the thr_now floor guarantees real
+       progress per detection. *)
+    cas_max bound (max (add_sat b excess) (add_sat b (thr_now ())));
+    R.probe T.tag_guard_bound (R.read bound) excess;
+    match C.policy with
+    | Inflate -> ()
+    | Remeasure f ->
+      (* A remeasured boundary is adopted only if larger — the bound must
+         stay monotone or certain answers already handed out could become
+         wrong under a later, smaller bound. *)
+      cas_max bound (f ~excess ~boundary:(R.read bound));
+      R.probe T.tag_guard_remeasure (R.read bound) excess
+    | Fallback -> enter_fallback ~own
+
+  let rec fallback_time () =
+    if R.read fb_ready = 0 then begin
+      (* the winner is still seeding the counter; issuing now could
+         order before a stamp the scan hasn't covered yet *)
+      R.pause ();
+      fallback_time ()
+    end
+    else begin
+      let i = slot () in
+      let prior = R.read last.(i) in
+      if prior > 0 then begin
+        (* one-time join: own pre-degradation stamps must never be
+           certainly-after anything issued from the shared counter *)
+        cas_max fb_clock (add_sat prior (add_sat (R.read bound) 1));
+        R.write last.(i) 0
+      end;
+      let v = R.read fb_clock in
+      R.probe T.tag_guard_ts v (R.read bound);
+      v
+    end
+
+  let ordo_time () =
+    let i = slot () in
+    let off = off_of i in
+    (* Withhold-until-confirmed sampling: a reading whose watchdog
+       deviation exceeds the threshold is either an interrupt-like spike
+       (clears on re-read) or a real clock fault (persists [confirm]
+       times); no stamp with an unconfirmed deviation is ever returned. *)
+    let thr = thr_now () in
+    let rec sample tries =
+      let t0 = R.now () in
+      let raw = R.get_time () in
+      let dev = raw - t0 - off in
+      if dev > -thr && dev < thr then (t0, raw, 0)
+      else if tries + 1 >= C.confirm then (t0, raw, dev)
+      else sample (tries + 1)
+    in
+    (* Sampled one-way probe: cross-validate the published stamp maximum
+       against a local reading taken *after* loading it — the one-way
+       direction makes staleness harmless (an old published value can
+       only understate the spread), so on a healthy machine the spread
+       never exceeds the skew.  Runs before the stamp is sampled so the
+       stamp stays the thread's latest clock read. *)
+    let cnt = R.read ops.(i) in
+    if cnt <= 1 then begin
+      R.write ops.(i) C.publish_period;
+      let p = R.read published in
+      let fresh = R.get_time () in
+      if p - fresh > R.read bound then
+        detect ~own:(max fresh (R.read last.(i))) ~excess:(p - fresh);
+      cas_max published fresh
+    end
+    else R.write ops.(i) (cnt - 1);
+    let t0, raw, dev = sample 0 in
+    let prev = R.read last.(i) in
+    if dev <> 0 then begin
+      (* Rebase the watchdog so the absorbed displacement is not reported
+         again; the inflated bound covers it from now on. *)
+      R.write offs.(i) (raw - t0);
+      detect ~own:(max prev raw) ~excess:(abs dev)
+    end;
+    (* Per-thread monotonicity: needs no baseline, so it also covers a
+       step during the guard's very first readings. *)
+    if prev - raw > R.read bound then detect ~own:prev ~excess:(prev - raw);
+    R.write last.(i) (max raw prev);
+    if R.read mode <> 0 then fallback_time ()
+    else begin
+      let b_now = R.read bound in
+      R.probe T.tag_guard_ts raw b_now;
+      raw
+    end
+
+  let get_time () = if R.read mode <> 0 then fallback_time () else ordo_time ()
+
+  let cmp_time t1 t2 =
+    let b = R.read bound in
+    if t1 > add_sat t2 b then 1 else if add_sat t1 b < t2 then -1 else 0
+
+  let new_time t =
+    let rec wait () =
+      let v = get_time () in
+      if v > add_sat t (R.read bound) then v
+      else begin
+        (* In fallback the shared counter only moves when pushed; bumping
+           it by bound + 1 keeps new_time O(1) instead of spinning. *)
+        if R.read mode <> 0 then ignore (R.fetch_add fb_clock (add_sat (R.read bound) 1) : int)
+        else R.pause ();
+        wait ()
+      end
+    in
+    let result = wait () in
+    R.probe "ordo.new_time" t result;
+    result
+end

@@ -1,0 +1,69 @@
+(** Runtime boundary guard: {!Ordo.S} with continuous validation of the
+    clock-sanity assumptions behind the measured boundary, and a
+    configurable reaction when they break.
+
+    Detection uses two channels: a clocksource-watchdog-style check of
+    every issued stamp against the substrate's reference timebase (per
+    thread, via an offset learned at startup; deviations must survive
+    [confirm] consecutive re-reads, and the stamp is withheld until the
+    reading is either cleared or confirmed), plus sampled one-way probes
+    that cross-validate the published stamp maximum against the local
+    clock — the live version of the offset-matrix measurement.
+
+    On detection the bound is inflated (exponential backoff, monotone —
+    it never shrinks, which keeps previously-issued certain comparisons
+    stable), then the policy runs: {!Inflate} stops there, {!Remeasure}
+    consults a recalibration hook, {!Fallback} degrades permanently to a
+    shared logical clock whose seed dominates every stamp issued before
+    the switch. *)
+
+type policy =
+  | Inflate  (** grow the bound by at least the observed excess and continue *)
+  | Remeasure of (excess:int -> boundary:int -> int)
+      (** inflate, then adopt the hook's recalibrated boundary if larger *)
+  | Fallback  (** inflate, then degrade to a shared logical clock *)
+
+module type CONFIG = sig
+  val boundary : int
+  (** the measured ORDO_BOUNDARY of the machine; must be positive *)
+
+  val policy : policy
+
+  val watchdog_divisor : int
+  (** watchdog tolerance starts at [max 8 (boundary / watchdog_divisor)]
+      and widens with the inflated bound, capped at [boundary / 4] so a
+      pair of escaped stamps plus the skew stays under the bound *)
+
+  val confirm : int
+  (** consecutive deviating re-reads before a watchdog detection counts
+      (filters interrupt-like one-off delays) *)
+
+  val publish_period : int
+  (** every n-th stamp doubles as a one-way cross-validation probe *)
+
+  val max_threads : int
+  (** slots for per-thread guard state; thread ids fold modulo this *)
+end
+
+module Defaults : sig
+  val policy : policy
+  val watchdog_divisor : int
+  val confirm : int
+  val publish_period : int
+  val max_threads : int
+end
+
+module type S = sig
+  include Ordo.S
+
+  val current_boundary : unit -> int
+  (** live (possibly inflated) bound; [boundary] is the configured floor *)
+
+  val in_fallback : unit -> bool
+  (** [true] once the guard has degraded to the logical-clock fallback *)
+
+  val violations : unit -> int
+  (** number of invariant violations detected so far *)
+end
+
+module Make (_ : Ordo_runtime.Runtime_intf.S) (_ : CONFIG) : S

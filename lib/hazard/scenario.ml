@@ -1,0 +1,238 @@
+(* Declarative clock-hazard scenarios.
+
+   A scenario is a list of timed actions against the *clocks* of a
+   virtual machine — the things Ordo's invariant-clock assumption says
+   never happen: per-core rate changes (frequency scaling breaking TSC
+   invariance), step jumps (suspend/resume or a firmware RESET re-sync),
+   cores going offline and coming back with a stale counter, and threads
+   migrating between sockets.  Scenarios are plain data validated against
+   a topology, so the simulator can compile them into exact piecewise
+   clock functions and runs stay bit-for-bit reproducible; the shipped
+   presets draw their cores and magnitudes from a seeded [Rng].
+
+   Times are in virtual ns relative to the start of the perturbed run.
+   Magnitudes are chosen so that an *unguarded* run accumulates drift
+   well past any measured ORDO_BOUNDARY (hundreds of ns to a few µs)
+   while the drift per operation interval stays small — which is exactly
+   the regime where a runtime guard must catch the fault before a stamp
+   escapes. *)
+
+module Topology = Ordo_util.Topology
+module Rng = Ordo_util.Rng
+module Trace = Ordo_trace.Trace
+
+type action =
+  | Rate_change of { core : int; ppm : int }
+      (* physical core's clock rate becomes 1 + ppm/1e6 (not compounding:
+         the rate is absolute, so [ppm = 0] restores nominal speed) *)
+  | Step of { core : int; delta_ns : int }  (* instantaneous jump, may be negative *)
+  | Offline of { core : int; dur_ns : int; resync_ns : int }
+      (* execution on the core blocks for [dur_ns]; at wake the clock has
+         been "re-synced" with error [resync_ns] *)
+  | Migrate of { thread : int; target : int }
+      (* hardware thread [thread]'s work moves to the location (and clock)
+         of hardware thread [target] *)
+
+type event = { at : int; action : action }
+type t = { name : string; events : event list }
+
+let empty name = { name; events = [] }
+
+(* Trace encoding of an action (the [a]/[b]/[c] of a [Trace.Hazard]). *)
+let code_of_action = function
+  | Rate_change _ -> Trace.hz_rate
+  | Step _ -> Trace.hz_step
+  | Offline _ -> Trace.hz_offline
+  | Migrate _ -> Trace.hz_migrate
+
+let target_of = function
+  | Rate_change { core; _ } | Step { core; _ } | Offline { core; _ } -> core
+  | Migrate { thread; _ } -> thread
+
+let magnitude_of = function
+  | Rate_change { ppm; _ } -> ppm
+  | Step { delta_ns; _ } -> delta_ns
+  | Offline { dur_ns; _ } -> dur_ns
+  | Migrate { target; _ } -> target
+
+let validate (topo : Topology.t) t =
+  let cores = Topology.physical_cores topo in
+  let threads = Topology.total_threads topo in
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  List.iter
+    (fun { at; action } ->
+      if at < 0 then fail "scenario %s: event at %d < 0" t.name at;
+      match action with
+      | Rate_change { core; ppm } ->
+        if core < 0 || core >= cores then fail "scenario %s: rate core %d out of range" t.name core;
+        if ppm <= -1_000_000 then fail "scenario %s: rate %d ppm stops the clock" t.name ppm
+      | Step { core; _ } ->
+        if core < 0 || core >= cores then fail "scenario %s: step core %d out of range" t.name core
+      | Offline { core; dur_ns; _ } ->
+        if core < 0 || core >= cores then
+          fail "scenario %s: offline core %d out of range" t.name core;
+        if dur_ns <= 0 then fail "scenario %s: offline duration %d <= 0" t.name dur_ns
+      | Migrate { thread; target } ->
+        if thread < 0 || thread >= threads then
+          fail "scenario %s: migrating thread %d out of range" t.name thread;
+        if target < 0 || target >= threads then
+          fail "scenario %s: migration target %d out of range" t.name target)
+    t.events
+
+let sorted t = List.stable_sort (fun e1 e2 -> compare e1.at e2.at) t.events
+
+(* Net clock displacement per physical core once all steps and offline
+   re-syncs have been applied (rate changes are not position changes).
+   This is what an asynchronous remeasurement would discover. *)
+let net_steps t ~cores =
+  let d = Array.make cores 0 in
+  List.iter
+    (fun { action; _ } ->
+      match action with
+      | Step { core; delta_ns } -> d.(core) <- d.(core) + delta_ns
+      | Offline { core; resync_ns; _ } -> d.(core) <- d.(core) + resync_ns
+      | Rate_change _ | Migrate _ -> ())
+    t.events;
+  d
+
+let describe_action = function
+  | Rate_change { core; ppm } ->
+    if ppm = 0 then Printf.sprintf "core %d clock back to nominal rate" core
+    else Printf.sprintf "core %d clock rate %+d ppm" core ppm
+  | Step { core; delta_ns } -> Printf.sprintf "core %d clock steps %+d ns" core delta_ns
+  | Offline { core; dur_ns; resync_ns } ->
+    Printf.sprintf "core %d offline for %d ns, re-syncs %+d ns" core dur_ns resync_ns
+  | Migrate { thread; target } ->
+    Printf.sprintf "thread %d migrates to hw thread %d" thread target
+
+let describe t =
+  Printf.sprintf "scenario %s: %d events" t.name (List.length t.events)
+  :: List.map (fun { at; action } -> Printf.sprintf "  vt+%-8d %s" at (describe_action action))
+       (sorted t)
+
+(* ---- seeded presets ----
+
+   Every preset takes the scheduled hazards from a named [Rng] stream, so
+   (seed, dur, topology) fully determines the scenario.  Magnitude
+   choices, and why the guard can survive them, are deliberate:
+
+   - rate changes are *decreases* of ~0.8-1.5% — gradual divergence that
+     the guard's cross-validation catches before the drift crosses the
+     detection headroom, yet integrates to far beyond the boundary over
+     the run (an unguarded run fails);
+   - steps and re-syncs are *negative* — the first read on the stepped
+     core violates per-thread monotonicity, which the guard detects
+     before the stamp escapes.  (A large *positive* step is undetectable
+     in principle before one bad stamp escapes: the stamped value is
+     indistinguishable from a legitimately-fast clock.  We don't ship
+     such a scenario as a guard-survivable preset.) *)
+
+let pick rng ~n xs =
+  let a = Array.of_list xs in
+  Rng.shuffle rng a;
+  Array.to_list (Array.sub a 0 (min n (Array.length a)))
+
+(* Physical cores that actually host one of hardware threads
+   [0 .. threads-1] — the contiguous placement the harnesses use.
+   Presets draw their targets from these so a fault always lands where
+   the workload can observe it. *)
+let active_cores (topo : Topology.t) threads =
+  let n = max 1 (min threads (Topology.total_threads topo)) in
+  List.sort_uniq compare (List.init n (Topology.physical_of topo))
+
+let seeded seed name = Rng.create ~seed:(Int64.of_int (seed * 1_000_003 + Hashtbl.hash name)) ()
+
+let none ~seed:_ ~dur:_ ~threads:_ (_ : Topology.t) = empty "none"
+
+let dvfs ~seed ~dur ~threads (topo : Topology.t) =
+  let rng = seeded seed "dvfs" in
+  let active = active_cores topo threads in
+  let n = 1 + (topo.Topology.sockets / 4) in
+  let events =
+    List.concat_map
+      (fun core ->
+        let ppm = -Rng.int_in rng 8_000 15_000 in
+        let from = dur / 5 and till = 4 * dur / 5 in
+        [
+          { at = from + Rng.int rng (dur / 10); action = Rate_change { core; ppm } };
+          { at = till; action = Rate_change { core; ppm = 0 } };
+        ])
+      (pick rng ~n active)
+  in
+  { name = "dvfs"; events }
+
+let resync ~seed ~dur ~threads (topo : Topology.t) =
+  let rng = seeded seed "resync" in
+  let active = active_cores topo threads in
+  let sockets = List.sort_uniq compare (List.map (fun c -> c / topo.Topology.cores_per_socket) active) in
+  let socket = List.nth sockets (Rng.int rng (List.length sockets)) in
+  let events =
+    List.filter_map
+      (fun core ->
+        if core / topo.Topology.cores_per_socket = socket then
+          Some { at = dur / 3; action = Step { core; delta_ns = -Rng.int_in rng 2_000 4_000 } }
+        else None)
+      active
+  in
+  { name = "resync"; events }
+
+let hotplug ~seed ~dur ~threads (topo : Topology.t) =
+  let rng = seeded seed "hotplug" in
+  let active = active_cores topo threads in
+  let core = List.nth active (Rng.int rng (List.length active)) in
+  {
+    name = "hotplug";
+    events =
+      [
+        {
+          at = dur / 4;
+          action = Offline { core; dur_ns = dur / 4; resync_ns = -Rng.int_in rng 1_000 2_500 };
+        };
+      ];
+  }
+
+(* Cross-socket migrations plus one stale re-sync on a migration target:
+   the migrations themselves stay within the measured skew (they stress
+   false-positive avoidance), the step makes the unguarded run fail. *)
+let migrate ~seed ~dur ~threads (topo : Topology.t) =
+  let rng = seeded seed "migrate" in
+  let per = topo.Topology.cores_per_socket in
+  let cores = Topology.physical_cores topo in
+  let movers = pick rng ~n:2 (List.init (max 1 (min 8 (min threads per))) Fun.id) in
+  let events =
+    List.map
+      (fun thread ->
+        let target_socket = 1 + Rng.int rng (max 1 (topo.Topology.sockets - 1)) in
+        let target = (target_socket * per mod cores) + Rng.int rng per in
+        { at = (dur / 4) + Rng.int rng (dur / 4); action = Migrate { thread; target } })
+      movers
+  in
+  let stale_core =
+    match events with
+    | { action = Migrate { target; _ }; _ } :: _ -> Topology.physical_of topo target
+    | _ -> 0
+  in
+  let step =
+    { at = 3 * dur / 5; action = Step { core = stale_core; delta_ns = -Rng.int_in rng 2_000 3_500 } }
+  in
+  { name = "migrate"; events = step :: events }
+
+let storm ~seed ~dur ~threads topo =
+  let parts =
+    [ dvfs ~seed ~dur ~threads topo; resync ~seed ~dur ~threads topo;
+      hotplug ~seed ~dur ~threads topo ]
+  in
+  { name = "storm"; events = List.concat_map (fun s -> s.events) parts }
+
+let all =
+  [
+    ("none", none);
+    ("dvfs", dvfs);
+    ("resync", resync);
+    ("hotplug", hotplug);
+    ("migrate", migrate);
+    ("storm", storm);
+  ]
+
+let by_name name = List.assoc_opt name all
+let names = List.map fst all

@@ -1,0 +1,68 @@
+(** Declarative, seeded clock-hazard scenarios.
+
+    A scenario is plain data: timed actions against the clocks of a
+    virtual machine — rate changes (non-invariant TSC under frequency
+    scaling), step jumps (suspend/resume re-sync), core offline/online
+    windows, and thread migration.  The simulator compiles a validated
+    scenario into exact piecewise-linear clock functions, so perturbed
+    runs stay deterministic. *)
+
+module Topology = Ordo_util.Topology
+
+type action =
+  | Rate_change of { core : int; ppm : int }
+      (** Physical [core]'s clock rate becomes [1 + ppm/1e6].  Absolute,
+          not compounding; [ppm = 0] restores nominal speed. *)
+  | Step of { core : int; delta_ns : int }
+      (** Instantaneous jump of [core]'s clock; may be negative. *)
+  | Offline of { core : int; dur_ns : int; resync_ns : int }
+      (** Execution on [core] blocks for [dur_ns] virtual ns; on wake the
+          clock has been re-synced with error [resync_ns]. *)
+  | Migrate of { thread : int; target : int }
+      (** Hardware thread [thread]'s work moves to the location (and
+          clock) of hardware thread [target]. *)
+
+type event = { at : int  (** virtual ns after run start *); action : action }
+type t = { name : string; events : event list }
+
+val empty : string -> t
+
+val validate : Topology.t -> t -> unit
+(** Raises [Invalid_argument] for out-of-range cores/threads, negative
+    times, non-positive offline windows, or a clock-stopping rate. *)
+
+val sorted : t -> event list
+(** Events in firing order (stable on ties). *)
+
+val net_steps : t -> cores:int -> int array
+(** Net clock displacement per physical core after all steps and offline
+    re-syncs — what an asynchronous remeasurement would discover. *)
+
+val code_of_action : action -> int
+(** The {!Ordo_trace.Trace.Hazard} code ([hz_rate] ...) for an action. *)
+
+val target_of : action -> int
+val magnitude_of : action -> int
+val describe_action : action -> string
+val describe : t -> string list
+
+(** {2 Seeded presets}
+
+    [(seed, dur, threads, topology)] fully determines each scenario;
+    [threads] is the number of contiguously-placed workload threads, so
+    faults land on cores the workload can observe.  All presets
+    are survivable by the runtime guard (rate {e decreases} and
+    {e negative} steps — a large positive step is undetectable in
+    principle before one bad stamp escapes) while making an unguarded
+    run accumulate drift far beyond any measured boundary. *)
+
+val none : seed:int -> dur:int -> threads:int -> Topology.t -> t
+val dvfs : seed:int -> dur:int -> threads:int -> Topology.t -> t
+val resync : seed:int -> dur:int -> threads:int -> Topology.t -> t
+val hotplug : seed:int -> dur:int -> threads:int -> Topology.t -> t
+val migrate : seed:int -> dur:int -> threads:int -> Topology.t -> t
+val storm : seed:int -> dur:int -> threads:int -> Topology.t -> t
+
+val all : (string * (seed:int -> dur:int -> threads:int -> Topology.t -> t)) list
+val by_name : string -> (seed:int -> dur:int -> threads:int -> Topology.t -> t) option
+val names : string list

@@ -31,6 +31,7 @@ type t = {
   queue : (unit -> unit) Heap.t;
   rng : Rng.t;
   base : int;  (* timeline value at which this run started *)
+  hazard : Hazard.t option;  (* compiled clock-fault scenario, if any *)
   mutable cur : thread;
   mutable n_events : int;
   mutable max_vtime : int;
@@ -132,6 +133,39 @@ let finish : type a. t -> thread -> a -> int -> a =
   end
   else Effect.perform (E_resume (v, completion))
 
+(* ---- hazard hooks ----
+
+   All three are no-ops (one pointer test) when the run has no scenario,
+   so hazard-free runs are bit-identical to the pre-hazard engine. *)
+
+(* Where a hardware thread currently executes — migrations remap the
+   latency position while the thread id (and its cell ownership) stays. *)
+let locate eng id =
+  match eng.hazard with
+  | None -> id
+  | Some h -> if id < 0 then id else h.Hazard.loc.(id)
+
+(* A thread initiating an operation inside one of its offline windows
+   first blocks until the window closes.  Going through [finish] keeps
+   the initiation-order-equals-virtual-time-order invariant: the fiber
+   parks in the queue if any other thread could act first. *)
+let offline_release eng th =
+  match eng.hazard with
+  | None -> ()
+  | Some h ->
+    let w = h.Hazard.offline.(th.id) in
+    for i = 0 to Array.length w - 1 do
+      let s, e = w.(i) in
+      if th.time >= s && th.time < e then ignore (finish eng th () e : unit)
+    done
+
+(* The invariant clock under a scenario: the thread's precompiled
+   piecewise-linear function, evaluated at the completion instant. *)
+let clock_value eng th completion =
+  match eng.hazard with
+  | None -> completion + clock_epoch - th.reset
+  | Some h -> Hazard.clock_at h.Hazard.clocks.(th.id) completion
+
 (* ---- costing ---- *)
 
 let noise eng =
@@ -152,7 +186,9 @@ let read_completion eng th line =
   else begin
     let cls, cost =
       if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
-      else (Machine.transfer_class m th.id line.owner, Machine.transfer_ns m th.id line.owner)
+      else
+        let req = locate eng th.id and own = locate eng line.owner in
+        (Machine.transfer_class m req own, Machine.transfer_ns m req own)
     in
     sharer_add line th.id;
     let start = max th.time line.free_at in
@@ -175,7 +211,9 @@ let exclusive_completion eng th line ~exec_ns =
       if has_sharers line then (Trace.cls_llc, m.Machine.llc_ns)
       else (Trace.cls_l1, m.Machine.l1_ns)
     else if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
-    else (Machine.transfer_class m th.id line.owner, Machine.transfer_ns m th.id line.owner)
+    else
+      let req = locate eng th.id and own = locate eng line.owner in
+      (Machine.transfer_class m req own, Machine.transfer_ns m req own)
   in
   let completion = start + transfer + exec_ns + noise eng in
   (* Emission reads line state, so it must precede the mutations; it is
@@ -207,6 +245,7 @@ let read c =
   | None -> c.v
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     finish eng th c.v (read_completion eng th c.line)
 
 let write c x =
@@ -214,6 +253,7 @@ let write c x =
   | None -> c.v <- x
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion =
       exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.store_ns
     in
@@ -228,6 +268,7 @@ let cas c expected desired =
     ok
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion =
       exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
     in
@@ -243,6 +284,7 @@ let fetch_add c n =
     old
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion =
       exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
     in
@@ -258,6 +300,7 @@ let exchange c x =
     old
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion =
       exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.atomic_ns
     in
@@ -274,8 +317,9 @@ let get_time () =
     clock_epoch + !timeline
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion = th.time + scale th eng.machine.Machine.tsc_ns + noise eng in
-    let value = completion + clock_epoch - th.reset in
+    let value = clock_value eng th completion in
     if !Trace.on then
       Trace.emit ~tid:th.id ~time:completion Trace.Clock_read ~a:value ~b:0
         ~c:(completion - th.time);
@@ -288,6 +332,7 @@ let now () =
     (* Relative to the start of this run: harness loops measure durations
        with [now]; absolute ordering must use [get_time]. *)
     let th = eng.cur in
+    offline_release eng th;
     let completion = th.time + eng.machine.Machine.l1_ns in
     finish eng th (completion - eng.base) completion
 
@@ -298,6 +343,7 @@ let pause () =
   | None -> ()
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     let completion = th.time + eng.machine.Machine.pause_ns in
     if !Trace.on then Trace.emit ~tid:th.id ~time:completion Trace.Pause ~a:0 ~b:0 ~c:0;
     finish eng th () completion
@@ -307,6 +353,7 @@ let work n =
   | None -> ()
   | Some eng ->
     let th = eng.cur in
+    offline_release eng th;
     finish eng th () (th.time + scale th (max 0 n))
 
 let fence () = ()
@@ -360,7 +407,7 @@ let fiber eng th fn =
           | _ -> None);
     }
 
-let run machine jobs =
+let run ?scenario machine jobs =
   if Option.is_some !current then invalid_arg "Engine.run: not reentrant";
   let topo = machine.Machine.topo in
   let nthreads = Topology.total_threads topo in
@@ -379,6 +426,9 @@ let run machine jobs =
       lanes.(p) <- lanes.(p) + 1)
     jobs;
   let base = !timeline in
+  let hazard =
+    Option.map (fun s -> Hazard.compile ~epoch:clock_epoch ~base machine s) scenario
+  in
   let dummy = { id = -1; time = base; finished = false; smt_factor = 1.0; reset = 0 } in
   let eng =
     {
@@ -386,11 +436,27 @@ let run machine jobs =
       queue = Heap.create ();
       rng = Rng.create ~seed:machine.Machine.seed ();
       base;
+      hazard;
       cur = dummy;
       n_events = 0;
       max_vtime = base;
     }
   in
+  (* Hazard fires are ordinary queued events on the continuous timeline:
+     they flip the compiled state (thread locations) and mark the trace,
+     interleaving deterministically with thread operations. *)
+  (match hazard with
+  | None -> ()
+  | Some h ->
+    List.iter
+      (fun (f : Hazard.fire) ->
+        Heap.push eng.queue ~time:f.at (fun () ->
+            f.Hazard.apply ();
+            if f.at > eng.max_vtime then eng.max_vtime <- f.at;
+            if !Trace.on then
+              Trace.emit ~tid:f.Hazard.tid ~time:f.at Trace.Hazard ~a:f.Hazard.code
+                ~b:f.Hazard.target ~c:f.Hazard.magnitude))
+      h.Hazard.fires);
   let start (hw, fn) =
     let th =
       {
@@ -424,6 +490,21 @@ let run machine jobs =
       in
       drain ());
   (* Later clock readings (and the next run) live in this run's future;
-     the margin clears the largest per-core reset offset. *)
-  timeline := eng.max_vtime + 10_000;
+     the margin clears the largest per-core reset offset — and, after a
+     hazard run, however far behind the slowest perturbed clock ended up,
+     so cross-run timestamp monotonicity survives any scenario. *)
+  let deficit =
+    match eng.hazard with
+    | None -> 0
+    | Some h ->
+      let worst = ref 0 in
+      Array.iteri
+        (fun hw segs ->
+          let healthy = eng.max_vtime + clock_epoch - Machine.clock_reset_ns machine hw in
+          let d = healthy - Hazard.clock_at segs eng.max_vtime in
+          if d > !worst then worst := d)
+        h.Hazard.clocks;
+      !worst
+  in
+  timeline := eng.max_vtime + 10_000 + deficit;
   { events = eng.n_events; end_vtime = eng.max_vtime - base }

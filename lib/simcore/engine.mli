@@ -62,7 +62,15 @@ val probe : string -> int -> int -> unit
 
 val in_simulation : unit -> bool
 
-val run : Machine.t -> (int * (unit -> unit)) list -> stats
+val run :
+  ?scenario:Ordo_hazard.Scenario.t -> Machine.t -> (int * (unit -> unit)) list -> stats
 (** [run machine jobs] runs each [(hw_thread, fn)] as one simulated thread
     pinned to that hardware thread, to completion.  Hardware thread ids
-    must be distinct and within the machine's topology.  Not reentrant. *)
+    must be distinct and within the machine's topology.  Not reentrant.
+
+    [scenario] injects clock faults on the run's timeline: per-core rate
+    changes and step jumps alter what {!get_time} returns (via compiled
+    piecewise-linear clock functions, so perturbed runs remain fully
+    deterministic), offline windows block execution on a core while its
+    clock keeps running, and migrations remap a thread's latency position
+    and clock source.  Hazard-free runs are unaffected. *)

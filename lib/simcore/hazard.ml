@@ -1,0 +1,168 @@
+(* Compile a declarative hazard scenario against a concrete machine into
+   the tables the engine consults on its hot paths:
+
+   - per hardware thread, a piecewise-linear clock function (segments of
+     [value + rate * (t - from)]) that splices together the clocks of
+     every physical core the thread resides on, with rate changes, step
+     jumps and offline re-syncs applied at exact virtual instants.
+     Evaluating the clock at an operation's completion time is therefore
+     independent of event-queue interleaving — perturbed runs stay as
+     deterministic as healthy ones;
+   - per hardware thread, the absolute windows during which it is
+     offline (execution blocks; the clock keeps running);
+   - a list of timed "fires": queue thunks that flip the mutable
+     location table (migration latency remap) and emit [Trace.Hazard]
+     events on the continuous timeline.
+
+   A thread that no scenario touches gets the single baseline segment
+   [{from = base; value = base + epoch - reset; rate = 1.0}], which
+   evaluates to exactly the unperturbed engine clock. *)
+
+module Scenario = Ordo_hazard.Scenario
+module Topology = Ordo_util.Topology
+module Trace = Ordo_trace.Trace
+
+type seg = { from : int; value : int; rate : float }
+
+type fire = {
+  at : int;  (* absolute virtual time *)
+  tid : int;  (* hardware thread the trace event is attributed to *)
+  code : int;  (* Trace.hz_* *)
+  target : int;
+  magnitude : int;
+  apply : unit -> unit;  (* state flip at fire time (location remap) *)
+}
+
+type t = {
+  scenario : Scenario.t;
+  clocks : seg array array;  (* indexed by hardware thread *)
+  offline : (int * int) array array;  (* absolute [start, end) windows per hw thread *)
+  loc : int array;  (* current location of each hw thread; mutated by fires *)
+  fires : fire list;  (* ascending [at] *)
+}
+
+(* Evaluate a piecewise clock at absolute time [t]: the active segment is
+   the last one with [from <= t].  Segments per thread are few (one per
+   scenario action touching it), so a backwards scan is fine. *)
+let clock_at (segs : seg array) t =
+  let rec find i = if i = 0 || segs.(i).from <= t then i else find (i - 1) in
+  let s = segs.(find (Array.length segs - 1)) in
+  s.value + int_of_float (s.rate *. float_of_int (t - s.from))
+
+let rate_at (segs : seg array) t =
+  let rec find i = if i = 0 || segs.(i).from <= t then i else find (i - 1) in
+  (segs.(find (Array.length segs - 1))).rate
+
+let compile ~epoch ~base (machine : Machine.t) (scenario : Scenario.t) =
+  let topo = machine.Machine.topo in
+  Scenario.validate topo scenario;
+  let cores = Topology.physical_cores topo in
+  let nthreads = Topology.total_threads topo in
+  let events =
+    List.map (fun ({ Scenario.at; _ } as e) -> { e with Scenario.at = base + at })
+      (Scenario.sorted scenario)
+  in
+  (* Per-physical-core clock segments. *)
+  let core_segs =
+    Array.init cores (fun c ->
+        [ { from = base; value = base + epoch - machine.Machine.reset_ns.(c); rate = 1.0 } ])
+  in
+  let extend c seg = core_segs.(c) <- core_segs.(c) @ [ seg ] in
+  let eval c t = clock_at (Array.of_list core_segs.(c)) t in
+  let rate c t = rate_at (Array.of_list core_segs.(c)) t in
+  List.iter
+    (fun { Scenario.at; action } ->
+      match action with
+      | Scenario.Rate_change { core; ppm } ->
+        extend core { from = at; value = eval core at; rate = 1.0 +. (float_of_int ppm /. 1e6) }
+      | Scenario.Step { core; delta_ns } ->
+        extend core { from = at; value = eval core at + delta_ns; rate = rate core at }
+      | Scenario.Offline { core; dur_ns; resync_ns } ->
+        let wake = at + dur_ns in
+        extend core { from = wake; value = eval core wake + resync_ns; rate = rate core wake }
+      | Scenario.Migrate _ -> ())
+    events;
+  let core_segs = Array.map Array.of_list core_segs in
+  (* Residency: which physical core each hardware thread's clock follows
+     over time, from the (static) migration schedule. *)
+  let residency =
+    Array.init nthreads (fun hw -> ref [ (base, Topology.physical_of topo hw) ])
+  in
+  List.iter
+    (fun { Scenario.at; action } ->
+      match action with
+      | Scenario.Migrate { thread; target } ->
+        residency.(thread) := (at, Topology.physical_of topo target) :: !(residency.(thread))
+      | _ -> ())
+    events;
+  (* Splice core segments over residency intervals into per-thread clocks. *)
+  let intervals hw =
+    let rec pair = function
+      | (s1, c1) :: ((s2, _) :: _ as rest) -> (s1, s2, c1) :: pair rest
+      | [ (s, c) ] -> [ (s, max_int, c) ]
+      | [] -> []
+    in
+    pair (List.rev !(residency.(hw)))
+  in
+  let clocks =
+    Array.init nthreads (fun hw ->
+        let segs =
+          List.concat_map
+            (fun (s, e, c) ->
+              { from = s; value = clock_at core_segs.(c) s; rate = rate_at core_segs.(c) s }
+              :: (Array.to_list core_segs.(c)
+                 |> List.filter (fun seg -> seg.from > s && seg.from < e)))
+            (intervals hw)
+        in
+        Array.of_list segs)
+  in
+  (* Offline windows: a thread is blocked while it resides on an offline
+     core; intersect each window with the thread's residency intervals. *)
+  let offline =
+    Array.init nthreads (fun hw ->
+        List.concat_map
+          (fun { Scenario.at; action } ->
+            match action with
+            | Scenario.Offline { core; dur_ns; _ } ->
+              List.filter_map
+                (fun (s, e, c) ->
+                  if c <> core then None
+                  else
+                    let lo = max at s and hi = min (at + dur_ns) e in
+                    if lo < hi then Some (lo, hi) else None)
+                (intervals hw)
+            | _ -> [])
+          events
+        |> Array.of_list)
+  in
+  (* Fires: trace emission plus the location flip for migrations.  Core
+     actions are attributed to the core's lane-0 hardware thread (thread
+     ids [0 .. P-1] are the physical cores). *)
+  let loc = Array.init nthreads Fun.id in
+  let fires =
+    List.concat_map
+      (fun { Scenario.at; action } ->
+        let code = Scenario.code_of_action action in
+        let target = Scenario.target_of action in
+        let magnitude = Scenario.magnitude_of action in
+        let fire = { at; tid = target; code; target; magnitude; apply = ignore } in
+        match action with
+        | Scenario.Migrate { thread; target } ->
+          [ { fire with apply = (fun () -> loc.(thread) <- target) } ]
+        | Scenario.Offline { core; dur_ns; resync_ns } ->
+          [
+            fire;
+            {
+              at = at + dur_ns;
+              tid = core;
+              code = Trace.hz_online;
+              target = core;
+              magnitude = resync_ns;
+              apply = ignore;
+            };
+          ]
+        | Scenario.Rate_change _ | Scenario.Step _ -> [ fire ])
+      events
+    |> List.stable_sort (fun f1 f2 -> compare f1.at f2.at)
+  in
+  { scenario; clocks; offline; loc; fires }

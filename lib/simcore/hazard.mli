@@ -1,0 +1,37 @@
+(** Scenario compilation: turn a declarative {!Ordo_hazard.Scenario.t}
+    into the exact tables the engine consults while running — piecewise
+    -linear per-thread clock functions, offline windows, and timed fires
+    that remap thread locations and emit [Trace.Hazard] events.  Because
+    clocks are closed-form functions of virtual time, perturbed runs are
+    as deterministic as healthy ones. *)
+
+module Scenario = Ordo_hazard.Scenario
+
+type seg = { from : int; value : int; rate : float }
+(** One clock segment: value at [t >= from] is [value + rate * (t - from)]. *)
+
+type fire = {
+  at : int;  (** absolute virtual time *)
+  tid : int;  (** hardware thread the trace event is attributed to *)
+  code : int;  (** [Trace.hz_*] *)
+  target : int;
+  magnitude : int;
+  apply : unit -> unit;  (** state flip at fire time (location remap) *)
+}
+
+type t = {
+  scenario : Scenario.t;
+  clocks : seg array array;  (** indexed by hardware thread *)
+  offline : (int * int) array array;  (** absolute [start, end)] windows per hw thread *)
+  loc : int array;  (** current location of each hw thread; mutated by fires *)
+  fires : fire list;  (** ascending [at] *)
+}
+
+val clock_at : seg array -> int -> int
+(** Evaluate a piecewise clock at an absolute virtual time. *)
+
+val compile : epoch:int -> base:int -> Machine.t -> Scenario.t -> t
+(** Validate [scenario] against the machine's topology and compile it
+    relative to run start [base] (clock epoch [epoch]).  An untouched
+    thread's clock compiles to exactly the unperturbed engine clock.
+    Raises [Invalid_argument] on an invalid scenario. *)

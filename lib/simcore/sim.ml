@@ -22,10 +22,10 @@ module Runtime : Runtime_intf.S = struct
   let probe = Engine.probe
 end
 
-let run_on machine jobs = Engine.run machine jobs
+let run_on ?scenario machine jobs = Engine.run ?scenario machine jobs
 
-let run machine ~threads fn =
-  Engine.run machine (List.init threads (fun i -> (i, fun () -> fn i)))
+let run ?scenario machine ~threads fn =
+  Engine.run ?scenario machine (List.init threads (fun i -> (i, fun () -> fn i)))
 
 let exec machine : (module Runtime_intf.EXEC) =
   (module struct

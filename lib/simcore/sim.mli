@@ -8,11 +8,14 @@
 
 module Runtime : Ordo_runtime.Runtime_intf.S
 
-val run : Machine.t -> threads:int -> (int -> unit) -> Engine.stats
+val run :
+  ?scenario:Ordo_hazard.Scenario.t -> Machine.t -> threads:int -> (int -> unit) -> Engine.stats
 (** [run machine ~threads fn] executes [fn i] on hardware threads
-    [0 .. threads-1] (physical cores first, then SMT lanes). *)
+    [0 .. threads-1] (physical cores first, then SMT lanes).  [scenario]
+    injects deterministic clock faults (see {!Engine.run}). *)
 
-val run_on : Machine.t -> (int * (unit -> unit)) list -> Engine.stats
+val run_on :
+  ?scenario:Ordo_hazard.Scenario.t -> Machine.t -> (int * (unit -> unit)) list -> Engine.stats
 (** Explicit placement, as [Runtime_intf.EXEC.run_on]. *)
 
 val exec : Machine.t -> (module Ordo_runtime.Runtime_intf.EXEC)

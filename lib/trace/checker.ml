@@ -21,6 +21,7 @@ type tx = {
   start_ts : int;
   commit_ts : int;
   commit_seq : int;  (* physical order of the commit in the trace *)
+  commit_time : int;  (* virtual time of the commit probe *)
   reads : (int * int) list;  (* key, version observed *)
   installs : (int * int * int) list;  (* key, version installed, seq *)
 }
@@ -30,6 +31,11 @@ type violation =
       (** [earlier] completed before [later] started, yet its clock value
           exceeds [later]'s by [delta] > boundary. *)
   | New_time_short of { tid : int; time : int; arg : int; result : int }
+  | Stamp_inversion of { earlier : Trace.event; later : Trace.event; delta : int }
+      (** Guarded variant of [Clock_inversion]: a guard-issued stamp
+          ([guard.ts]) certainly inverts an earlier one even under the
+          boundary the guard had in effect when the later stamp was
+          issued. *)
   | Edge_inversion of { key : int; from_tx : tx; to_tx : tx }
       (** A conflict edge whose source commit timestamp is certainly
           after its target's. *)
@@ -39,6 +45,9 @@ type report = {
   boundary : int;
   clock_reads : int;
   new_times : int;
+  stamps : int;  (* guard-issued stamps checked (guarded runs only) *)
+  hazards : int;  (* injected hazard events present in the trace *)
+  guard_events : int;  (* guard stamps + actions present in the trace *)
   committed : int;
   aborted : int;
   edges : int;
@@ -117,7 +126,15 @@ let reconstruct t (events : Trace.event array) =
         if e.kind = Trace.Probe then begin
           if e.a = tg_begin then
             Hashtbl.replace open_tx e.tid
-              { tx_tid = e.tid; start_ts = e.b; commit_ts = 0; commit_seq = 0; reads = []; installs = [] }
+              {
+                tx_tid = e.tid;
+                start_ts = e.b;
+                commit_ts = 0;
+                commit_seq = 0;
+                commit_time = 0;
+                reads = [];
+                installs = [];
+              }
           else
             match Hashtbl.find_opt open_tx e.tid with
             | None -> ()
@@ -128,7 +145,9 @@ let reconstruct t (events : Trace.event array) =
                 Hashtbl.replace open_tx e.tid
                   { tx with installs = (e.b, e.c, e.seq) :: tx.installs }
               else if is tg_commit e then begin
-                committed := { tx with commit_ts = e.b; commit_seq = e.seq } :: !committed;
+                committed :=
+                  { tx with commit_ts = e.b; commit_seq = e.seq; commit_time = e.time }
+                  :: !committed;
                 Hashtbl.remove open_tx e.tid
               end
               else if is tg_abort e then begin
@@ -139,7 +158,10 @@ let reconstruct t (events : Trace.event array) =
       events;
     (List.rev !committed, !aborted)
 
-let check_history ~boundary txs violations =
+(* [bound_of u w] gives the boundary to test a conflict edge against —
+   constant for plain checks, the inflated bound in effect once both
+   commits existed for guarded checks. *)
+let check_history ~bound_of txs violations =
   let txs = Array.of_list txs in
   let n = Array.length txs in
   (* Install order per key: (version, installer, seq) ascending by seq. *)
@@ -215,10 +237,10 @@ let check_history ~boundary txs violations =
         tx.reads)
     txs;
   (* Timestamp order along every edge. *)
-  let cmp_certainly_after a b = a > add_sat b boundary in
   List.iter
     (fun (u, w, key) ->
-      if cmp_certainly_after txs.(u).commit_ts txs.(w).commit_ts then
+      let b = bound_of txs.(u) txs.(w) in
+      if txs.(u).commit_ts > add_sat txs.(w).commit_ts b then
         violations := Edge_inversion { key; from_tx = txs.(u); to_tx = txs.(w) } :: !violations)
     !edges;
   (* Acyclicity (DFS, first cycle reported). *)
@@ -250,17 +272,139 @@ let check_history ~boundary txs violations =
   | None -> ());
   (List.length !edges, !ambiguous)
 
+let count_kind k (events : Trace.event array) =
+  Array.fold_left (fun n (e : Trace.event) -> if e.kind = k then n + 1 else n) 0 events
+
 let check ~boundary (t : Trace.t) =
   if boundary < 0 then invalid_arg "Checker.check: negative boundary";
   let violations = ref [] in
   let clock_reads = check_clock_reads ~boundary t.events violations in
   let new_times = check_new_times ~boundary t t.events violations in
   let txs, aborted = reconstruct t t.events in
-  let edges, ambiguous = check_history ~boundary txs violations in
+  let edges, ambiguous = check_history ~bound_of:(fun _ _ -> boundary) txs violations in
   {
     boundary;
     clock_reads;
     new_times;
+    stamps = 0;
+    hazards = count_kind Trace.Hazard t.events;
+    guard_events = count_kind Trace.Guard t.events;
+    committed = List.length txs;
+    aborted;
+    edges;
+    ambiguous;
+    violations = List.rev !violations;
+  }
+
+(* ---- guarded runs: the same invariants against the guard's dynamic bound ----
+
+   A guarded run replaces raw clock reads with guard-issued stamps
+   ([guard.ts] events: b = stamp value, c = boundary in effect when it
+   was issued).  Raw reads may legitimately invert physical order in the
+   window between a hazard firing and its detection — the guard's whole
+   point is that no such raw value ever *escapes* to the application —
+   so a guarded trace is checked at the stamp level instead:
+
+   1'. No issued stamp is certainly-after a stamp whose read completed
+       before its own read started, judged against the *later* stamp's
+       issue-time boundary.  Sound because the guard only ever inflates
+       the bound: any comparison the application performs happens at or
+       after the later issue, under a bound at least that large.
+   2'. [new_time t] probes clear [t + boundary0] (the configured floor;
+       the guard itself enforces the inflated bound at issue, which can
+       race with a concurrent inflation and is therefore not re-judged
+       here).
+   3'. Conflict edges are judged against the bound in effect once both
+       commit stamps existed. *)
+
+(* Each guard.ts stamp is produced by exactly one raw clock read on the
+   same thread just before it; pair them up to recover the read window
+   (start = completion - cost).  Fallback-mode stamps read a logical
+   counter and have no matching [Clock_read]; their window degenerates to
+   the emission instant, which is conservative and can never flag (the
+   counter is monotone). *)
+let guard_stamps (t : Trace.t) =
+  match Trace.find_tag t Trace.tag_guard_ts with
+  | None -> [||]
+  | Some tag ->
+    let last_read : (int, Trace.event) Hashtbl.t = Hashtbl.create 64 in
+    let stamps = ref [] in
+    Array.iter
+      (fun (e : Trace.event) ->
+        match e.kind with
+        | Trace.Clock_read -> Hashtbl.replace last_read e.tid e
+        | Trace.Guard when e.a = tag ->
+          let start, completion =
+            match Hashtbl.find_opt last_read e.tid with
+            | Some (r : Trace.event) when r.a = e.b -> (r.time - r.c, r.time)
+            | _ -> (e.time, e.time)
+          in
+          stamps := (start, completion, e) :: !stamps
+        | _ -> ())
+      t.events;
+    let a = Array.of_list !stamps in
+    Array.sort (fun (_, c1, (e1 : Trace.event)) (_, c2, (e2 : Trace.event)) ->
+        if c1 <> c2 then compare c1 c2 else compare e1.seq e2.seq) a;
+    a
+
+let check_guard_stamps stamps violations =
+  let n = Array.length stamps in
+  let admitted = ref 0 in
+  let max_val = ref min_int and max_ev = ref None in
+  for i = 0 to n - 1 do
+    let b_start, _, (b : Trace.event) = stamps.(i) in
+    while
+      !admitted < n
+      && (let _, completion, _ = stamps.(!admitted) in
+          completion <= b_start)
+    do
+      let _, _, (a : Trace.event) = stamps.(!admitted) in
+      if a.b > !max_val then begin
+        max_val := a.b;
+        max_ev := Some a
+      end;
+      incr admitted
+    done;
+    match !max_ev with
+    | Some a when !max_val > add_sat b.b b.c ->
+      violations := Stamp_inversion { earlier = a; later = b; delta = !max_val - b.b } :: !violations
+    | _ -> ()
+  done;
+  n
+
+(* The guard's boundary over virtual time, reconstructed from its
+   guard.bound / guard.remeasure events (b = the new bound).  The bound
+   is monotone, so the running maximum up to [time] is exact. *)
+let bound_timeline ~boundary0 (t : Trace.t) =
+  let interesting tag = tag = Trace.tag_guard_bound || tag = Trace.tag_guard_remeasure in
+  let changes =
+    Array.to_list t.events
+    |> List.filter_map (fun (e : Trace.event) ->
+           match e.kind with
+           | Trace.Guard when interesting (Trace.tag_name t e.a) -> Some (e.time, e.b)
+           | _ -> None)
+  in
+  fun time ->
+    List.fold_left
+      (fun acc (at, b) -> if at <= time && b > acc then b else acc)
+      boundary0 changes
+
+let check_guard ~boundary (t : Trace.t) =
+  if boundary < 0 then invalid_arg "Checker.check_guard: negative boundary";
+  let violations = ref [] in
+  let bound_at = bound_timeline ~boundary0:boundary t in
+  let stamps = check_guard_stamps (guard_stamps t) violations in
+  let new_times = check_new_times ~boundary t t.events violations in
+  let txs, aborted = reconstruct t t.events in
+  let bound_of u w = bound_at (max u.commit_time w.commit_time) in
+  let edges, ambiguous = check_history ~bound_of txs violations in
+  {
+    boundary;
+    clock_reads = 0;
+    new_times;
+    stamps;
+    hazards = count_kind Trace.Hazard t.events;
+    guard_events = count_kind Trace.Guard t.events;
     committed = List.length txs;
     aborted;
     edges;
@@ -281,6 +425,12 @@ let describe_violation = function
     Printf.sprintf
       "new_time too small: core %d at vt=%d returned %d for new_time(%d) — not strictly beyond \
        t + boundary" tid time result arg
+  | Stamp_inversion { earlier; later; delta } ->
+    Printf.sprintf
+      "stamp inversion: core %d was issued %d at vt=%d, then core %d was issued %d at vt=%d — \
+       the earlier stamp is ahead by %d ns, beyond even the guard's inflated bound (%d ns)"
+      earlier.Trace.tid earlier.Trace.b earlier.Trace.time later.Trace.tid later.Trace.b
+      later.Trace.time delta later.Trace.c
   | Edge_inversion { key; from_tx; to_tx } ->
     Printf.sprintf
       "commit-order inversion on key %d: tx(core %d, commit_ts %d) conflicts-into tx(core %d, \
@@ -292,9 +442,18 @@ let describe_violation = function
          (List.map (fun tx -> Printf.sprintf "(core %d, ts %d)" tx.tx_tid tx.commit_ts) txs))
 
 let describe r =
+  let reads =
+    if r.stamps > 0 then Printf.sprintf "%d guard stamps" r.stamps
+    else Printf.sprintf "%d clock reads" r.clock_reads
+  in
+  let hazards =
+    if r.hazards > 0 || r.guard_events > 0 then
+      Printf.sprintf " [%d hazards, %d guard events]" r.hazards r.guard_events
+    else ""
+  in
   Printf.sprintf
-    "checked %d clock reads, %d new_time calls, %d committed txs (%d aborted, %d conflict \
-     edges, %d ambiguous) against boundary %d ns: %s"
-    r.clock_reads r.new_times r.committed r.aborted r.edges r.ambiguous r.boundary
+    "checked %s, %d new_time calls, %d committed txs (%d aborted, %d conflict \
+     edges, %d ambiguous) against boundary %d ns%s: %s"
+    reads r.new_times r.committed r.aborted r.edges r.ambiguous r.boundary hazards
     (if ok r then "OK" else Printf.sprintf "%d VIOLATIONS" (List.length r.violations))
   :: List.map describe_violation r.violations

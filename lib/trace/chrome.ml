@@ -78,6 +78,14 @@ let add_event b ~first ~t0 (t : Trace.t) (e : Trace.event) =
       ~ts:(us (e.time - e.c - t0))
       ~dur:(us e.c)
       ~args:[ ("value", e.a) ] ()
+  | Trace.Hazard ->
+    emit
+      ~name:("hazard." ^ Trace.hazard_name e.a)
+      ~cat:"hazard" ~ph:"i" ~ts:(us (e.time - t0))
+      ~args:[ ("target", e.b); ("magnitude", e.c) ] ()
+  | Trace.Guard ->
+    emit ~name:(Trace.tag_name t e.a) ~cat:"guard" ~ph:"i" ~ts:(us (e.time - t0))
+      ~args:[ ("a", e.b); ("b", e.c) ] ()
   | Trace.Pause -> ()
 
 let to_string (t : Trace.t) =

@@ -17,6 +17,8 @@ let totals (t : Trace.t) =
       clock_reads = 0;
       pauses = 0;
       probes = 0;
+      hazards = 0;
+      guards = 0;
       transfer_lat = Stats.Online.create ();
     }
   in
@@ -31,6 +33,8 @@ let totals (t : Trace.t) =
         acc.clock_reads <- acc.clock_reads + c.clock_reads;
         acc.pauses <- acc.pauses + c.pauses;
         acc.probes <- acc.probes + c.probes;
+        acc.hazards <- acc.hazards + c.hazards;
+        acc.guards <- acc.guards + c.guards;
         Stats.Online.merge lat c.transfer_lat)
       acc.transfer_lat t.cores
   in
@@ -44,7 +48,7 @@ let hottest ?(n = 5) (t : Trace.t) =
 (* ---- tables ---- *)
 
 let core_header =
-  [ "core"; "xfer"; "l1"; "llc"; "mesh"; "cross"; "mem"; "inval"; "stall"; "stall_ns"; "clk"; "pause" ]
+  [ "core"; "xfer"; "l1"; "llc"; "mesh"; "cross"; "mem"; "inval"; "stall"; "stall_ns"; "clk"; "pause"; "hzrd"; "guard" ]
 
 let core_row (c : Trace.core_stat) =
   [
@@ -60,6 +64,8 @@ let core_row (c : Trace.core_stat) =
     string_of_int c.stall_ns;
     string_of_int c.clock_reads;
     string_of_int c.pauses;
+    string_of_int c.hazards;
+    string_of_int c.guards;
   ]
 
 (* Sub-sample wide machines so a 240-core table stays readable. *)

@@ -23,6 +23,8 @@ type kind =
   | Span_begin  (** a = tag id *)
   | Span_end  (** a = tag id *)
   | Probe  (** a = tag id, b/c = payload *)
+  | Hazard  (** a = hazard code, b = target core/thread, c = magnitude *)
+  | Guard  (** a = tag id of the guard action, b/c = payload *)
 
 let kind_code = function
   | Transfer -> 0
@@ -33,9 +35,36 @@ let kind_code = function
   | Span_begin -> 5
   | Span_end -> 6
   | Probe -> 7
+  | Hazard -> 8
+  | Guard -> 9
 
 let kind_of_code =
-  [| Transfer; Invalidate; Rmw_stall; Clock_read; Pause; Span_begin; Span_end; Probe |]
+  [| Transfer; Invalidate; Rmw_stall; Clock_read; Pause; Span_begin; Span_end; Probe; Hazard; Guard |]
+
+(* Hazard codes (the [a] field of [Hazard]), shared with the simulator's
+   hazard scheduler and the scenario DSL of [Ordo_hazard]. *)
+let hz_rate = 0
+let hz_step = 1
+let hz_offline = 2
+let hz_online = 3
+let hz_migrate = 4
+let hazard_names = [| "rate"; "step"; "offline"; "online"; "migrate" |]
+
+let hazard_name code =
+  if code >= 0 && code < Array.length hazard_names then hazard_names.(code) else "?"
+
+(* Probe tags reserved for the runtime boundary guard ([Ordo_core.Guard]).
+   Probes carrying one of these tags are reclassified as [Guard] events at
+   emission, so guard actions are first-class in collected traces without
+   the guard having to know about the sink. *)
+let tag_guard_ts = "guard.ts"  (* b = issued timestamp, c = boundary then in effect *)
+let tag_guard_violation = "guard.violation"  (* b = observed excess, c = boundary *)
+let tag_guard_bound = "guard.bound"  (* b = new boundary, c = observed excess *)
+let tag_guard_fallback = "guard.fallback"  (* b = fallback clock seed, c = boundary *)
+let tag_guard_remeasure = "guard.remeasure"  (* b = recalibrated boundary, c = excess *)
+
+let guard_tag_names =
+  [| tag_guard_ts; tag_guard_violation; tag_guard_bound; tag_guard_fallback; tag_guard_remeasure |]
 
 (* Transfer classes (the [b] field of [Transfer]), matching the simulator's
    latency tiers. *)
@@ -59,6 +88,8 @@ type core_stat = {
   mutable clock_reads : int;
   mutable pauses : int;
   mutable probes : int;
+  mutable hazards : int;  (* injected hazards that fired on this core *)
+  mutable guards : int;  (* guard stamps/actions emitted from this core *)
   transfer_lat : Stats.Online.t;
 }
 
@@ -96,6 +127,7 @@ type sink = {
   line_names : (int, string) Hashtbl.t;
   seq : int Atomic.t;
   lock : Mutex.t;  (* guards growth and interning (real-substrate emits) *)
+  mutable guard_ids : int array;  (* tag ids of guard_tag_names, pre-interned *)
 }
 
 (* Producers read this one flag before doing anything else; [emit] still
@@ -107,20 +139,32 @@ let is_tracing () = Option.is_some !sink
 let start ?(capacity = 16_384) ?(threads = 64) () =
   if capacity < 1 then invalid_arg "Trace.start: capacity must be >= 1";
   if Option.is_some !sink then invalid_arg "Trace.start: already tracing";
-  sink :=
-    Some
-      {
-        capacity;
-        bufs = Array.make (max 1 threads) None;
-        core_stats = Array.make (max 1 threads) None;
-        line_stats = Hashtbl.create 64;
-        tag_ids = Hashtbl.create 32;
-        tag_names = Array.make 32 "";
-        n_tags = 0;
-        line_names = Hashtbl.create 8;
-        seq = Atomic.make 0;
-        lock = Mutex.create ();
-      };
+  let s =
+    {
+      capacity;
+      bufs = Array.make (max 1 threads) None;
+      core_stats = Array.make (max 1 threads) None;
+      line_stats = Hashtbl.create 64;
+      tag_ids = Hashtbl.create 32;
+      tag_names = Array.make 32 "";
+      n_tags = 0;
+      line_names = Hashtbl.create 8;
+      seq = Atomic.make 0;
+      lock = Mutex.create ();
+      guard_ids = [||];
+    }
+  in
+  sink := Some s;
+  (* Reserve the guard tags up front so [emit] can reclassify guard probes
+     with a cheap array scan instead of a string comparison. *)
+  let intern_now tag =
+    let id = s.n_tags in
+    s.tag_names.(id) <- tag;
+    s.n_tags <- id + 1;
+    Hashtbl.add s.tag_ids tag id;
+    id
+  in
+  s.guard_ids <- Array.map intern_now guard_tag_names;
   on := true
 
 let grow array tid =
@@ -155,6 +199,8 @@ let core_of s tid =
         clock_reads = 0;
         pauses = 0;
         probes = 0;
+        hazards = 0;
+        guards = 0;
         transfer_lat = Stats.Online.create ();
       }
     in
@@ -209,6 +255,12 @@ let emit ~tid ~time kind ~a ~b ~c =
       Mutex.unlock s.lock
     end;
     let cs = core_of s tid in
+    (* A probe carrying a reserved guard tag is really a guard action. *)
+    let kind =
+      match kind with
+      | Probe when Array.exists (fun id -> id = a) s.guard_ids -> Guard
+      | k -> k
+    in
     (match kind with
     | Transfer ->
       cs.transfers.(b) <- cs.transfers.(b) + 1;
@@ -228,7 +280,9 @@ let emit ~tid ~time kind ~a ~b ~c =
       ls.stall_ns <- ls.stall_ns + b
     | Clock_read -> cs.clock_reads <- cs.clock_reads + 1
     | Pause -> cs.pauses <- cs.pauses + 1
-    | Span_begin | Span_end | Probe -> cs.probes <- cs.probes + 1);
+    | Span_begin | Span_end | Probe -> cs.probes <- cs.probes + 1
+    | Hazard -> cs.hazards <- cs.hazards + 1
+    | Guard -> cs.guards <- cs.guards + 1);
     let buf = buf_of s tid in
     let i = buf.emitted mod s.capacity * stride in
     buf.data.(i) <- Atomic.fetch_and_add s.seq 1;

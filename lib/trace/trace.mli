@@ -24,6 +24,34 @@ type kind =
   | Span_begin  (** a = tag id *)
   | Span_end  (** a = tag id *)
   | Probe  (** a = tag id, b/c = payload *)
+  | Hazard  (** a = hazard code ({!hz_rate} ...), b = target core/thread, c = magnitude *)
+  | Guard  (** a = tag id of a reserved guard tag, b/c = payload *)
+
+(** Hazard codes ([a] of [Hazard]), shared with the simulator's hazard
+    scheduler and the scenario DSL. *)
+
+val hz_rate : int
+val hz_step : int
+val hz_offline : int
+val hz_online : int
+val hz_migrate : int
+
+val hazard_name : int -> string
+(** Short human name for a hazard code ("rate", "step", ...). *)
+
+(** Probe tags reserved for the runtime boundary guard.  A [Probe] emitted
+    with one of these tags is reclassified as a [Guard] event by the sink
+    (the [a] field still carries the tag id). *)
+
+val tag_guard_ts : string  (** b = issued timestamp, c = boundary then in effect *)
+
+val tag_guard_violation : string  (** b = observed excess, c = boundary *)
+
+val tag_guard_bound : string  (** b = new boundary, c = observed excess *)
+
+val tag_guard_fallback : string  (** b = fallback clock seed, c = boundary *)
+
+val tag_guard_remeasure : string  (** b = recalibrated boundary, c = excess *)
 
 (** Transfer classes ([b] of [Transfer]), the simulator's latency tiers. *)
 
@@ -47,6 +75,8 @@ type core_stat = {
   mutable clock_reads : int;
   mutable pauses : int;
   mutable probes : int;
+  mutable hazards : int;  (** injected hazards that fired on this core *)
+  mutable guards : int;  (** guard stamps/actions emitted from this core *)
   transfer_lat : Ordo_util.Stats.Online.t;
 }
 

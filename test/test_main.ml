@@ -12,5 +12,6 @@ let () =
       ("stm", Test_stm.suite);
       ("db", Test_db.suite);
       ("trace", Test_trace.suite);
+      ("hazard", Test_hazard.suite);
       ("shapes", Test_shapes.suite);
     ]

@@ -202,6 +202,46 @@ let test_order_helpers () =
   Alcotest.(check bool) "fuzzy: far after" true (Fuzzy.certainly_after 500 5);
   Alcotest.(check bool) "fuzzy: far before" true (Fuzzy.certainly_before 5 500)
 
+(* ---- randomized properties ---- *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let qcheck_cmp_antisymmetric =
+  qtest "cmp_time antisymmetric"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (t1, t2) -> O100.cmp_time t1 t2 = -O100.cmp_time t2 t1)
+
+let qcheck_certain_transitive =
+  (* Certain answers must chain: if a is certainly after b and b certainly
+     after c, then a is certainly after c.  (Uncertainty is famously not
+     transitive; certainty has to be.) *)
+  qtest "certain ordering transitive"
+    QCheck2.Gen.(triple (int_range 0 2_000) (int_range 0 2_000) (int_range 0 2_000))
+    (fun (a, b, c) ->
+      (not (O100.cmp_time a b = 1 && O100.cmp_time b c = 1)) || O100.cmp_time a c = 1)
+
+let qcheck_new_time_under_random_skew =
+  (* On machines with random per-socket skews, every thread's new_time
+     must clear t + measured boundary — the primitive's contract does not
+     depend on which clock happens to run ahead. *)
+  qtest ~count:6 "new_time clears boundary under random skews"
+    QCheck2.Gen.(pair (int_range 0 600) (int_range 0 600))
+    (fun (s1, s2) ->
+      let m = skewed 3 1 [| 0; s1; s2 |] in
+      let module E = (val Sim.exec m) in
+      let module B = Boundary.Make (E) in
+      let boundary = max 1 (B.measure ~runs:20 ()) in
+      let ok = ref true in
+      ignore
+        (Sim.run m ~threads:3 (fun _ ->
+             let module O = Ordo.Make (R) (struct let boundary = boundary end) in
+             let t = O.get_time () in
+             let nt = O.new_time t in
+             if nt <= t + boundary || O.cmp_time nt t <> 1 then ok := false)
+          : Ordo_sim.Engine.stats);
+      !ok)
+
 (* ---- per-pair boundaries (Section 7 alternative) ---- *)
 
 let test_pair_matrix_symmetric () =
@@ -284,4 +324,7 @@ let suite =
     ("ordo source", `Quick, test_ordo_source);
     ("raw source", `Quick, test_raw_source);
     ("order helpers", `Quick, test_order_helpers);
+    qcheck_cmp_antisymmetric;
+    qcheck_certain_transitive;
+    qcheck_new_time_under_random_skew;
   ]

@@ -87,6 +87,63 @@ let test_ring_wrap_counters_exact () =
   check Alcotest.int "invalidation counters exact under wrap"
     tb.Trace.invalidations ts.Trace.invalidations
 
+let test_ring_wrap_drop_accounting () =
+  (* Same deterministic run at two capacities: the big ring keeps the
+     whole stream, so the small ring's [dropped] must equal exactly the
+     events it is missing, its per-core online counters must match the
+     lossless ones field for field, and what it did retain must be the
+     per-thread *suffixes* of the full stream (newest kept, oldest
+     evicted). *)
+  Trace.start ~capacity:32 ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let small = Trace.stop () in
+  Trace.start ~capacity:1_048_576 ();
+  ignore (counter_race Machine.amd : Engine.stats);
+  let big = Trace.stop () in
+  check Alcotest.int "big ring lossless" 0 big.Trace.dropped;
+  check Alcotest.int "drop accounting exact"
+    (Array.length big.Trace.events - Array.length small.Trace.events)
+    small.Trace.dropped;
+  check Alcotest.bool "per-core online stats identical under wrap" true
+    (small.Trace.cores = big.Trace.cores);
+  let by_tid (t : Trace.t) tid =
+    Array.to_list t.Trace.events
+    |> List.filter (fun (e : Trace.event) -> e.Trace.tid = tid)
+    |> Array.of_list
+  in
+  let tids =
+    Array.fold_left
+      (fun acc (e : Trace.event) -> if List.mem e.Trace.tid acc then acc else e.Trace.tid :: acc)
+      [] small.Trace.events
+  in
+  check Alcotest.bool "some threads wrapped" true (tids <> []);
+  (* The two runs share one process, so absolute virtual times carry a
+     constant offset and cell ids a constant renaming; everything else —
+     the globally-unique seq, the kind and payload — must match the full
+     stream's per-thread suffix exactly, and the time offset must be one
+     single constant. *)
+  List.iter
+    (fun tid ->
+      let s = by_tid small tid and b = by_tid big tid in
+      let n = Array.length s and m = Array.length b in
+      if n > m then Alcotest.failf "thread %d kept more events than emitted" tid;
+      if n = 0 then Alcotest.failf "thread %d retained nothing" tid;
+      let shift = b.(m - n).Trace.time - s.(0).Trace.time in
+      Array.iteri
+        (fun k (es : Trace.event) ->
+          let eb = b.(m - n + k) in
+          if
+            es.Trace.seq <> eb.Trace.seq
+            || es.Trace.kind <> eb.Trace.kind
+            || es.Trace.b <> eb.Trace.b
+            || es.Trace.c <> eb.Trace.c
+            || eb.Trace.time - es.Trace.time <> shift
+          then
+            Alcotest.failf "thread %d retained events are not a suffix of the full stream"
+              tid)
+        s)
+    tids
+
 (* ---- hottest-line report ---- *)
 
 let test_hottest_lines () =
@@ -247,6 +304,7 @@ let suite =
     ("engine counters", `Quick, test_engine_counters);
     ("clock reads traced", `Quick, test_clock_reads_traced);
     ("ring wrap keeps counters exact", `Quick, test_ring_wrap_counters_exact);
+    ("ring wrap drop accounting", `Quick, test_ring_wrap_drop_accounting);
     ("hottest lines sorted", `Quick, test_hottest_lines);
     ("chrome export balanced", `Quick, test_chrome_export);
     ("checker passes clean OCC", `Quick, test_checker_occ_clean);

@@ -18,10 +18,11 @@ let machine_name (m : Machine.t) = m.Machine.topo.Topology.name
 let tab1 ~full =
   Report.section "Table 1: machines and measured clock offsets";
   let runs = if full then 300 else 60 in
-  let rows =
-    List.map
+  (* One task per machine; the boundary-cache update happens after the
+     join so the cache's final content never depends on task order. *)
+  let measured =
+    H.par_map
       (fun (m : Machine.t) ->
-        let topo = m.Machine.topo in
         let module E = (val Sim.exec m) in
         let module B = Ordo_core.Boundary.Make (E) in
         let cores = H.sample_cores m in
@@ -37,17 +38,24 @@ let tab1 ~full =
                 end)
               row)
           matrix;
-        Hashtbl.replace H.boundary_cache topo.Topology.name !mx;
+        (m, !mn, !mx))
+      H.machines
+  in
+  let rows =
+    List.map
+      (fun ((m : Machine.t), mn, mx) ->
+        let topo = m.Machine.topo in
+        H.set_boundary m mx;
         [
           topo.Topology.name;
           string_of_int (Topology.physical_cores topo);
           string_of_int topo.Topology.smt;
           Printf.sprintf "%.1f" topo.Topology.ghz;
           string_of_int topo.Topology.sockets;
-          string_of_int !mn;
-          string_of_int !mx;
+          string_of_int mn;
+          string_of_int mx;
         ])
-      H.machines
+      measured
   in
   Report.table ~title:"simulated machines (offsets in ns; max = ORDO_BOUNDARY)"
     ~header:[ "machine"; "cores"; "SMT"; "GHz"; "sockets"; "min"; "max" ]
@@ -67,35 +75,45 @@ let tab1 ~full =
 let fig9 ~full =
   Report.section "Figure 9: pairwise clock offsets (writer row -> reader column)";
   let runs = if full then 200 else 40 in
-  List.iter
+  H.par_map
     (fun (m : Machine.t) ->
       let module E = (val Sim.exec m) in
       let module B = Ordo_core.Boundary.Make (E) in
       let cores = H.sample_cores ~count:(if full then 16 else 10) m in
-      let matrix = B.offset_matrix ~runs ~cores () in
-      Report.matrix
-        ~title:
-          (Printf.sprintf "%s (sampled hw threads: %s)" (machine_name m)
-             (String.concat "," (List.map string_of_int cores)))
-        ~row_label:"w\\r" matrix)
+      (m, cores, B.offset_matrix ~runs ~cores ()))
     H.machines
+  |> List.iter (fun (m, cores, matrix) ->
+         Report.matrix
+           ~title:
+             (Printf.sprintf "%s (sampled hw threads: %s)" (machine_name m)
+                (String.concat "," (List.map string_of_int cores)))
+           ~row_label:"w\\r" matrix)
 
 (* ---------- Figure 8a: timestamp cost vs thread count ------------------ *)
 
 let fig8a ~full =
   Report.section "Figure 8a: hardware timestamp cost (ns) vs threads";
+  (* All (machine, threads) cells in one flat task list. *)
+  let cells =
+    List.concat_map (fun m -> List.map (fun t -> (m, t)) (H.cores_for ~full m)) H.machines
+  in
+  let rates =
+    H.par_map
+      (fun (m, threads) ->
+        H.throughput ~warm:20_000 ~dur:100_000 m ~threads (fun _ _ ->
+            ignore (R.get_time ())))
+      cells
+  in
+  let results = List.combine cells rates in
   List.iter
     (fun (m : Machine.t) ->
       let rows =
-        List.map
-          (fun threads ->
-            let rate =
-              H.throughput ~warm:20_000 ~dur:100_000 m ~threads (fun _ _ ->
-                  ignore (R.get_time ()))
-            in
-            (* per-op cost = threads / aggregate rate *)
-            (threads, [ float_of_int threads /. rate *. 1000. ]))
-          (H.cores_for ~full m)
+        List.filter_map
+          (fun (((m' : Machine.t), threads), rate) ->
+            if m' != m then None
+              (* per-op cost = threads / aggregate rate *)
+            else Some (threads, [ float_of_int threads /. rate *. 1000. ]))
+          results
       in
       Report.series ~title:(machine_name m) ~xlabel:"threads" ~cols:[ "ns/op" ] rows)
     H.machines
@@ -107,29 +125,32 @@ let fig8b ~full =
   List.iter
     (fun (m : Machine.t) ->
       let boundary = H.boundary_of m in
+      (* Both sources share the thread counts: every (source, threads)
+         cell is one pool task; each builds its clock cell / Ordo source
+         inside the task. *)
       let atomic ~threads:_ =
         let clock = R.cell 0 in
-        fun _ _ -> ignore (R.fetch_add clock 1)
+        ((fun _ _ -> ignore (R.fetch_add clock 1)), fun _ -> ())
       in
       let ordo ~threads:_ =
         let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
         let last = ref 0 in
-        fun _ _ -> last := O.new_time !last
+        ((fun _ _ -> last := O.new_time !last), fun _ -> ())
       in
-      let rows =
-        List.map
-          (fun threads ->
-            let a = H.throughput ~warm:20_000 ~dur:100_000 m ~threads (atomic ~threads) in
-            let o = H.throughput ~warm:20_000 ~dur:100_000 m ~threads (ordo ~threads) in
-            ( threads,
-              [ a /. float_of_int threads; o /. float_of_int threads; o /. a ] ))
-          (H.cores_for ~full m)
-      in
-      Report.series
-        ~title:(Printf.sprintf "%s (boundary %d ns)" (machine_name m) boundary)
-        ~xlabel:"threads"
-        ~cols:[ "atomic/core"; "ordo/core"; "ordo/atomic" ]
-        rows)
+      match H.par_sweeps ~full ~warm:20_000 ~dur:100_000 m [ atomic; ordo ] with
+      | [ atomics; ordos ] ->
+        let rows =
+          List.map2
+            (fun (threads, a) (_, o) ->
+              (threads, [ a /. float_of_int threads; o /. float_of_int threads; o /. a ]))
+            atomics ordos
+        in
+        Report.series
+          ~title:(Printf.sprintf "%s (boundary %d ns)" (machine_name m) boundary)
+          ~xlabel:"threads"
+          ~cols:[ "atomic/core"; "ordo/core"; "ordo/atomic" ]
+          rows
+      | _ -> assert false)
     H.machines
 
 (* ---------- RLU hash-table benchmark (Figures 1, 11, 12, 16) ----------- *)
@@ -151,15 +172,16 @@ let make_rlu_table (module TS : Ordo_core.Timestamp.S) ?defer ~threads ~update_p
   (op, finish)
 
 let rlu_series ?full ?defer machine ~update_pct =
-  let logical =
-    H.sweep ?full machine (fun ~threads ->
-        make_rlu_table (H.logical_ts ()) ?defer ~threads ~update_pct ())
-  in
-  let ordo =
-    H.sweep ?full machine (fun ~threads ->
-        make_rlu_table (H.ordo_ts machine) ?defer ~threads ~update_pct ())
-  in
-  List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo
+  (* Each cell builds its own table and timestamp source inside the task. *)
+  match
+    H.par_sweeps ?full machine
+      [
+        (fun ~threads -> make_rlu_table (H.logical_ts ()) ?defer ~threads ~update_pct ());
+        (fun ~threads -> make_rlu_table (H.ordo_ts machine) ?defer ~threads ~update_pct ());
+      ]
+  with
+  | [ logical; ordo ] -> List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo
+  | _ -> assert false
 
 let fig1 ~full =
   Report.section "Figure 1: RLU vs RLU_ORDO, hash table 98% reads / 2% updates (Phi)";
@@ -196,25 +218,30 @@ let fig16 ~full =
     [ ("1-core", 1); ("1-socket", m.Machine.topo.Topology.cores_per_socket); ("8-sockets", physical) ]
   in
   let scales = [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ] in
+  (* All (config, scale) cells are independent tasks; normalization to
+     the 1x column happens after the join. *)
+  let cells = List.concat_map (fun c -> List.map (fun s -> (c, s)) scales) configs in
+  let rates =
+    H.par_map
+      (fun ((_, threads), scale) ->
+        let boundary = max 1 (int_of_float (float_of_int measured *. scale)) in
+        let op, finish = make_rlu_table (H.ordo_ts ~boundary m) ~threads ~update_pct:2 () in
+        H.throughput ~finish m ~threads op)
+      cells
+  in
   let rows =
-    List.map
-      (fun (label, threads) ->
-        let base = ref 0.0 in
-        let cells =
-          List.map
-            (fun scale ->
-              let boundary = max 1 (int_of_float (float_of_int measured *. scale)) in
-              let op, finish =
-                make_rlu_table (H.ordo_ts ~boundary m) ~threads ~update_pct:2 ()
-              in
-              let rate = H.throughput ~finish m ~threads op in
-              if scale = 1.0 then base := rate;
-              rate)
-            scales
+    List.map2
+      (fun (label, _) per_config ->
+        let base =
+          match
+            List.find_opt (fun (scale, _) -> scale = 1.0) (List.combine scales per_config)
+          with
+          | Some (_, r) when r <> 0.0 -> r
+          | _ -> 1.0
         in
-        let base = if !base = 0.0 then 1.0 else !base in
-        label :: List.map (fun r -> Printf.sprintf "%.3f" (r /. base)) cells)
+        label :: List.map (fun r -> Printf.sprintf "%.3f" (r /. base)) per_config)
       configs
+      (H.chunks (List.length scales) rates)
   in
   Report.table
     ~title:
@@ -236,29 +263,25 @@ let fig10 ~full =
       seqs.(i) <- seqs.(i) + 1;
       E.deliver t rng seqs.(i)
   in
-  let sweep maker =
-    List.map
-      (fun threads ->
-        ( threads,
-          H.throughput ~warm:400_000 ~dur:2_000_000 m ~threads (maker ~threads) *. 1000. ))
-      (H.cores_for ~full m)
-  in
-  let vanilla = sweep (fun ~threads -> run (module Ordo_oplog.Rmap.Vanilla (R)) ~threads) in
-  let raw =
-    sweep (fun ~threads ->
+  let variants =
+    [
+      (fun ~threads -> (run (module Ordo_oplog.Rmap.Vanilla (R)) ~threads, fun _ -> ()));
+      (fun ~threads ->
         let module Raw = Ordo_core.Timestamp.Raw (R) in
-        run (module Ordo_oplog.Rmap.Logged (R) (Raw)) ~threads)
-  in
-  let ordo =
-    sweep (fun ~threads ->
+        (run (module Ordo_oplog.Rmap.Logged (R) (Raw)) ~threads, fun _ -> ()));
+      (fun ~threads ->
         let module TS = (val H.ordo_ts m) in
-        run (module Ordo_oplog.Rmap.Logged (R) (TS)) ~threads)
+        (run (module Ordo_oplog.Rmap.Logged (R) (TS)) ~threads, fun _ -> ()));
+    ]
   in
-  Report.series ~title:"messages per millisecond" ~xlabel:"threads"
-    ~cols:[ "Vanilla"; "Oplog"; "Oplog_ORDO" ]
-    (List.map2
-       (fun (n, v) ((_, r), (_, o)) -> (n, [ v; r; o ]))
-       vanilla (List.combine raw ordo))
+  match H.par_sweeps ~full ~warm:400_000 ~dur:2_000_000 m variants with
+  | [ vanilla; raw; ordo ] ->
+    Report.series ~title:"messages per millisecond" ~xlabel:"threads"
+      ~cols:[ "Vanilla"; "Oplog"; "Oplog_ORDO" ]
+      (List.map2
+         (fun (n, v) ((_, r), (_, o)) -> (n, [ v *. 1000.; r *. 1000.; o *. 1000. ]))
+         vanilla (List.combine raw ordo))
+  | _ -> assert false
 
 (* ---------- Figures 13/14: database concurrency control ---------------- *)
 
@@ -278,23 +301,31 @@ let db_schemes machine : (string * (module Ordo_db.Cc_intf.S)) list =
 let fig13 ~full =
   Report.section "Figure 13: YCSB read-only transactions (txn/us)";
   let machines = if full then H.machines else [ Machine.xeon; Machine.arm ] in
+  (* One task per (machine, threads) cell; the task instantiates all six
+     schemes itself ([db_schemes] builds timestamp sources, which must
+     not be shared across tasks). *)
+  let cells =
+    List.concat_map (fun m -> List.map (fun t -> (m, t)) (H.cores_for ~full m)) machines
+  in
+  let values =
+    H.par_map
+      (fun (m, threads) ->
+        List.map
+          (fun (_, (module C : Ordo_db.Cc_intf.S)) ->
+            let module Y = Ordo_db.Ycsb.Make (R) (C) in
+            let t = Y.create ~threads () in
+            H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng -> Y.run_tx t rng))
+          (db_schemes m))
+      cells
+  in
+  let results = List.combine cells values in
   List.iter
-    (fun m ->
+    (fun (m : Machine.t) ->
       let names = List.map fst (db_schemes m) in
       let series =
-        List.map
-          (fun threads ->
-            let values =
-              List.map
-                (fun (_, (module C : Ordo_db.Cc_intf.S)) ->
-                  let module Y = Ordo_db.Ycsb.Make (R) (C) in
-                  let t = Y.create ~threads () in
-                  H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
-                      Y.run_tx t rng))
-                (db_schemes m)
-            in
-            (threads, values))
-          (H.cores_for ~full m)
+        List.filter_map
+          (fun (((m' : Machine.t), threads), vs) -> if m' == m then Some (threads, vs) else None)
+          results
       in
       Report.series ~title:(machine_name m) ~xlabel:"threads" ~cols:names series)
     machines
@@ -303,10 +334,10 @@ let fig14 ~full =
   Report.section "Figure 14: TPC-C (60 warehouses, NewOrder+Payment) on Xeon";
   let m = Machine.xeon in
   let names = List.map fst (db_schemes m) in
-  let tput = ref [] and abort = ref [] in
-  List.iter
-    (fun threads ->
-      let per_scheme =
+  let counts = H.cores_for ~full m in
+  let per_count =
+    H.par_map
+      (fun threads ->
         List.map
           (fun (_, (module C : Ordo_db.Cc_intf.S)) ->
             let module T = Ordo_db.Tpcc.Make (R) (C) in
@@ -317,48 +348,71 @@ let fig14 ~full =
             in
             let commits = T.stats_commits t and aborts = T.stats_aborts t in
             (rate, float_of_int aborts /. float_of_int (max 1 (commits + aborts))))
-          (db_schemes m)
-      in
-      tput := (threads, List.map fst per_scheme) :: !tput;
-      abort := (threads, List.map snd per_scheme) :: !abort)
-    (H.cores_for ~full m);
-  Report.series ~title:"throughput (txn/us)" ~xlabel:"threads" ~cols:names (List.rev !tput);
-  Report.series ~title:"abort rate" ~xlabel:"threads" ~cols:names (List.rev !abort)
+          (db_schemes m))
+      counts
+  in
+  let tput = List.map2 (fun t per -> (t, List.map fst per)) counts per_count in
+  let abort = List.map2 (fun t per -> (t, List.map snd per)) counts per_count in
+  Report.series ~title:"throughput (txn/us)" ~xlabel:"threads" ~cols:names tput;
+  Report.series ~title:"abort rate" ~xlabel:"threads" ~cols:names abort
 
 (* ---------- Figure 15: STAMP / TL2 ------------------------------------- *)
 
 let fig15 ~full =
   Report.section "Figure 15: STAMP kernels, speedup over sequential (Xeon)";
   let m = Machine.xeon in
-  let module LT = (val H.logical_ts ()) in
-  let module OT = (val H.ordo_ts m) in
-  let module StL = Ordo_stm.Stamp.Make (R) (LT) in
-  let module StO = Ordo_stm.Stamp.Make (R) (OT) in
-  let seq_rate kernel =
-    let inst = StL.create kernel ~threads:1 in
-    H.throughput ~warm:50_000 ~dur:200_000 m ~threads:1 (fun _ rng -> StL.run_seq inst rng)
+  (* Kernel descriptors are pure data, so tasks instantiate their own STM
+     modules (a [Stamp.Make] closes over a timestamp source, which must
+     not be shared across tasks) and select kernels by position. *)
+  let kernel_names =
+    let module LT = (val H.logical_ts ()) in
+    let module St = Ordo_stm.Stamp.Make (R) (LT) in
+    List.map (fun k -> k.St.name) St.kernels
   in
-  List.iter2
-    (fun kernel_l kernel_o ->
-      let seq = seq_rate kernel_l in
+  let nk = List.length kernel_names in
+  let counts = H.cores_for ~full m in
+  let seq_rates =
+    H.par_map
+      (fun ki ->
+        let module LT = (val H.logical_ts ()) in
+        let module St = Ordo_stm.Stamp.Make (R) (LT) in
+        let inst = St.create (List.nth St.kernels ki) ~threads:1 in
+        H.throughput ~warm:50_000 ~dur:200_000 m ~threads:1 (fun _ rng ->
+            St.run_seq inst rng))
+      (List.init nk Fun.id)
+  in
+  let cells =
+    List.concat_map (fun ki -> List.map (fun t -> (ki, t)) counts) (List.init nk Fun.id)
+  in
+  let pairs =
+    H.par_map
+      (fun (ki, threads) ->
+        let l =
+          let module LT = (val H.logical_ts ()) in
+          let module St = Ordo_stm.Stamp.Make (R) (LT) in
+          let inst = St.create (List.nth St.kernels ki) ~threads in
+          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng -> St.run_tx inst rng)
+        in
+        let o =
+          let module OT = (val H.ordo_ts m) in
+          let module St = Ordo_stm.Stamp.Make (R) (OT) in
+          let inst = St.create (List.nth St.kernels ki) ~threads in
+          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng -> St.run_tx inst rng)
+        in
+        (l, o))
+      cells
+  in
+  List.iteri
+    (fun ki name ->
+      let seq = List.nth seq_rates ki in
       let rows =
-        List.map
-          (fun threads ->
-            let l =
-              let inst = StL.create kernel_l ~threads in
-              H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
-                  StL.run_tx inst rng)
-            in
-            let o =
-              let inst = StO.create kernel_o ~threads in
-              H.throughput ~warm:50_000 ~dur:200_000 m ~threads (fun _ rng ->
-                  StO.run_tx inst rng)
-            in
-            (threads, [ l /. seq; o /. seq ]))
-          (H.cores_for ~full m)
+        List.map2
+          (fun threads (l, o) -> (threads, [ l /. seq; o /. seq ]))
+          counts
+          (List.nth (H.chunks (List.length counts) pairs) ki)
       in
-      Report.series ~title:kernel_l.StL.name ~xlabel:"threads" ~cols:[ "TL2"; "TL2_ORDO" ] rows)
-    StL.kernels StO.kernels
+      Report.series ~title:name ~xlabel:"threads" ~cols:[ "TL2"; "TL2_ORDO" ] rows)
+    kernel_names
 
 (* ---------- Ablations --------------------------------------------------- *)
 
@@ -370,25 +424,33 @@ let ablate_runs ~full =
      over-estimates in the tail; enough rounds make the estimate tight. *)
   let writer = 110 and reader = 0 in
   let trials = if full then 60 else 25 in
+  let runs_list = [ 1; 3; 10; 30; 100 ] in
+  (* Every (rounds, trial) pair is an independent task. *)
+  let cells =
+    List.concat_map (fun runs -> List.init trials (fun trial -> (runs, trial))) runs_list
+  in
+  let samples =
+    H.par_map
+      (fun (runs, trial) ->
+        (* Distinct machine seeds per trial: noise draws differ. *)
+        let m = { Machine.xeon with Machine.seed = Int64.of_int (trial + 1) } in
+        let module E = (val Sim.exec m) in
+        let module B = Ordo_core.Boundary.Make (E) in
+        float_of_int (B.clock_offset ~runs ~writer ~reader ()))
+      cells
+  in
   let rows =
-    List.map
-      (fun runs ->
-        let samples =
-          (* Distinct machine seeds per trial: noise draws differ. *)
-          Array.init trials (fun trial ->
-              let m = { Machine.xeon with Machine.seed = Int64.of_int (trial + 1) } in
-              let module E = (val Sim.exec m) in
-              let module B = Ordo_core.Boundary.Make (E) in
-              float_of_int (B.clock_offset ~runs ~writer ~reader ()))
-        in
-        let s = Ordo_util.Stats.summarize samples in
+    List.map2
+      (fun runs per_runs ->
+        let s = Ordo_util.Stats.summarize (Array.of_list per_runs) in
         [
           string_of_int runs;
           Printf.sprintf "%.0f" s.Ordo_util.Stats.min;
           Printf.sprintf "%.0f" s.Ordo_util.Stats.mean;
           Printf.sprintf "%.0f" s.Ordo_util.Stats.max;
         ])
-      [ 1; 3; 10; 30; 100 ]
+      runs_list
+      (H.chunks trials samples)
   in
   Report.table
     ~title:
@@ -436,7 +498,7 @@ let ablate_uncertain ~full =
   let measured = H.boundary_of m in
   let threads = Topology.physical_cores m.Machine.topo in
   let rows =
-    List.map
+    H.par_map
       (fun scale ->
         let boundary = max 1 (int_of_float (float_of_int measured *. scale)) in
         let module OT = (val H.ordo_ts ~boundary m) in
@@ -511,7 +573,7 @@ let ablate_rlu_margin ~full =
     (!violations, !reads)
   in
   let rows =
-    List.map
+    H.par_map
       (fun (label, boundary, margin) ->
         let violations, reads = run ~boundary ~commit_margin:margin in
         [
@@ -560,19 +622,20 @@ let fig11_tree ~full =
      the hash table, with more complex multi-object updates. *)
   List.iter
     (fun update_pct ->
-      let logical =
-        H.sweep ~full Machine.xeon (fun ~threads ->
-            make_rlu_tree (H.logical_ts ()) ~threads ~update_pct ())
-      in
-      let ordo =
-        H.sweep ~full Machine.xeon (fun ~threads ->
-            make_rlu_tree (H.ordo_ts Machine.xeon) ~threads ~update_pct ())
-      in
-      Report.series
-        ~title:(Printf.sprintf "xeon tree, %d%% updates (ops/us)" update_pct)
-        ~xlabel:"threads"
-        ~cols:[ "RLU"; "RLU_ORDO" ]
-        (List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo))
+      match
+        H.par_sweeps ~full Machine.xeon
+          [
+            (fun ~threads -> make_rlu_tree (H.logical_ts ()) ~threads ~update_pct ());
+            (fun ~threads -> make_rlu_tree (H.ordo_ts Machine.xeon) ~threads ~update_pct ());
+          ]
+      with
+      | [ logical; ordo ] ->
+        Report.series
+          ~title:(Printf.sprintf "xeon tree, %d%% updates (ops/us)" update_pct)
+          ~xlabel:"threads"
+          ~cols:[ "RLU"; "RLU_ORDO" ]
+          (List.map2 (fun (n, a) (_, b) -> (n, [ a; b ])) logical ordo)
+      | _ -> assert false)
     [ 2; 40 ]
 
 let ext_wal ~full =
@@ -588,23 +651,22 @@ let ext_wal ~full =
       ignore (W.append w (Rng.int rng 1000) : int);
       if i = 0 && Rng.int rng 256 = 0 then ignore (W.checkpoint w : int)
   in
-  let rows =
-    List.map
-      (fun threads ->
-        let l =
-          let module TS = (val H.logical_ts ()) in
-          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (make (module TS) ~threads)
-        in
-        let o =
-          let module TS = (val H.ordo_ts m) in
-          H.throughput ~warm:50_000 ~dur:200_000 m ~threads (make (module TS) ~threads)
-        in
-        (threads, [ l; o; o /. l ]))
-      (H.cores_for ~full m)
+  let variants =
+    [
+      (fun ~threads ->
+        let module TS = (val H.logical_ts ()) in
+        (make (module TS : Ordo_core.Timestamp.S) ~threads, fun _ -> ()));
+      (fun ~threads ->
+        let module TS = (val H.ordo_ts m) in
+        (make (module TS : Ordo_core.Timestamp.S) ~threads, fun _ -> ()));
+    ]
   in
-  Report.series ~title:"log appends/us" ~xlabel:"threads"
-    ~cols:[ "logical LSN"; "ordo LSN"; "speedup" ]
-    rows
+  match H.par_sweeps ~full ~warm:50_000 ~dur:200_000 m variants with
+  | [ logical; ordo ] ->
+    Report.series ~title:"log appends/us" ~xlabel:"threads"
+      ~cols:[ "logical LSN"; "ordo LSN"; "speedup" ]
+      (List.map2 (fun (n, l) (_, o) -> (n, [ l; o; o /. l ])) logical ordo)
+  | _ -> assert false
 
 let ext_tsstack ~full =
   Report.section "Extension (Section 2/7): timestamped stack vs Treiber stack";
@@ -636,26 +698,31 @@ let ext_tsstack ~full =
     fun i rng ->
       if Rng.int rng 2 = 0 then S.push s i else ignore (S.try_pop s : int option)
   in
-  let rows =
-    List.map
-      (fun threads ->
-        let t = H.throughput ~warm:50_000 ~dur:150_000 m ~threads (make_treiber ~threads) in
-        let s = H.throughput ~warm:50_000 ~dur:150_000 m ~threads (make_ts ~threads) in
-        (threads, [ t; s ]))
-      (H.cores_for ~full m)
+  let variants =
+    [
+      (fun ~threads -> (make_treiber ~threads, fun _ -> ()));
+      (fun ~threads -> (make_ts ~threads, fun _ -> ()));
+    ]
   in
-  Report.series ~title:"stack ops/us (50% push / 50% pop)" ~xlabel:"threads"
-    ~cols:[ "Treiber"; "TS-stack(ordo)" ]
-    rows
+  match H.par_sweeps ~full ~warm:50_000 ~dur:150_000 m variants with
+  | [ treiber; ts ] ->
+    Report.series ~title:"stack ops/us (50% push / 50% pop)" ~xlabel:"threads"
+      ~cols:[ "Treiber"; "TS-stack(ordo)" ]
+      (List.map2 (fun (n, t) (_, s) -> (n, [ t; s ])) treiber ts)
+  | _ -> assert false
 
 let ext_tpcc_full ~full =
   ignore full;
   Report.section "Extension: full five-transaction TPC-C mix (Xeon, 120 threads)";
   let m = Machine.xeon in
   let threads = 120 in
+  (* One task per scheme; each task instantiates its own scheme by
+     position so no timestamp source crosses task boundaries. *)
+  let n_schemes = List.length (db_schemes m) in
   let rows =
-    List.map
-      (fun (name, (module C : Ordo_db.Cc_intf.S)) ->
+    H.par_map
+      (fun si ->
+        let name, (module C : Ordo_db.Cc_intf.S) = List.nth (db_schemes m) si in
         let module T = Ordo_db.Tpcc.Make (R) (C) in
         let t = T.create ~threads () in
         let rate =
@@ -668,7 +735,7 @@ let ext_tpcc_full ~full =
           Printf.sprintf "%.2f" rate;
           Printf.sprintf "%.3f" (float_of_int aborts /. float_of_int (max 1 (commits + aborts)));
         ])
-      (db_schemes m)
+      (List.init n_schemes Fun.id)
   in
   Report.table ~title:"45% NewOrder / 43% Payment / 4% OrderStatus / 4% Delivery / 4% StockLevel"
     ~header:[ "scheme"; "txn/us"; "abort rate" ]
@@ -781,9 +848,6 @@ let ext_hazard ~full =
            done)
         : Ordo_sim.Engine.stats);
     let t = Trace.stop () in
-    if t.Trace.dropped > 0 then
-      Report.kv "trace events dropped (timeline may start late)"
-        (string_of_int t.Trace.dropped);
     let summary = Timeline.summarize t in
     let report =
       if guarded then Checker.check_guard ~boundary t else Checker.check ~boundary t
@@ -793,7 +857,7 @@ let ext_hazard ~full =
     let t0 =
       if Array.length t.Trace.events > 0 then t.Trace.events.(0).Trace.time else 0
     in
-    (wins, summary, Checker.ok report, t0)
+    (wins, summary, Checker.ok report, t0, t.Trace.dropped)
   in
   let configs =
     [
@@ -803,28 +867,38 @@ let ext_hazard ~full =
       ("dvfs, unguarded", Some (scenario ()), false, fun () -> H.ordo_ts ~boundary m);
     ]
   in
+  (* Each configuration is a self-contained task: it installs its own
+     (domain-local) trace sink, runs its simulation under a fresh
+     instance, and returns everything the report needs. *)
   let results =
-    List.map
+    H.par_map
       (fun (label, scenario, guarded, mk_ts) ->
-        let wins, summary, ok, t0 = run ?scenario ~guarded mk_ts in
-        (label, wins, summary, ok, t0))
+        let wins, summary, ok, t0, dropped = run ?scenario ~guarded mk_ts in
+        (label, wins, summary, ok, t0, dropped))
       configs
   in
+  List.iter
+    (fun (label, _, _, _, _, dropped) ->
+      if dropped > 0 then
+        Report.kv
+          (Printf.sprintf "%s: trace events dropped (timeline may start late)" label)
+          (string_of_int dropped))
+    results;
   Report.series
     ~title:
       (Printf.sprintf "OCC txn/us per %d ns window (%d threads, boundary %d ns)" window
          threads boundary)
     ~xlabel:"window end (ns)"
-    ~cols:(List.map (fun (l, _, _, _, _) -> l) results)
+    ~cols:(List.map (fun (l, _, _, _, _, _) -> l) results)
     (List.init windows (fun w ->
          ( (w + 1) * window,
            List.map
-             (fun (_, wins, _, _, _) ->
+             (fun (_, wins, _, _, _, _) ->
                float_of_int wins.(w) /. (float_of_int window /. 1000.))
              results )));
   let rows =
     List.map
-      (fun (label, _, s, ok, t0) ->
+      (fun (label, _, s, ok, t0, _) ->
         [
           label;
           (if ok then "pass" else "FAIL");

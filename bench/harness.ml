@@ -13,6 +13,37 @@ module Report = Ordo_util.Report
 let machines = Machine.presets
 let machine_label (m : Machine.t) = m.Machine.topo.Topology.name
 
+(* ---- parallel execution ----
+
+   Experiment *cells* (one simulator configuration each) run as tasks on
+   a domain pool.  Every task executes under a fresh simulator instance
+   whether the pool is parallel or not (see [Ordo_sim.Pool]), so the
+   numbers a cell produces are independent of job count, task order and
+   domain placement — [--jobs n] output is byte-identical to [--jobs 1].
+   Tasks must build all their simulator state (cells, timestamp sources,
+   workload tables) inside the task body; sharing an [R.cell] or a
+   timestamp source between tasks would race across domains. *)
+
+let jobs = ref 1
+let par_run tasks = Ordo_sim.Pool.run ~jobs:!jobs tasks
+let par_map f xs = Ordo_sim.Pool.map ~jobs:!jobs f xs
+
+(* Split [xs] into consecutive chunks of [n] — the inverse of flattening
+   a list of per-series cell lists into one task list. *)
+let rec chunks n xs =
+  if xs = [] then []
+  else begin
+    let rec take k = function
+      | rest when k = 0 -> ([], rest)
+      | [] -> ([], [])
+      | x :: rest ->
+        let l, r = take (k - 1) rest in
+        (x :: l, r)
+    in
+    let chunk, rest = take n xs in
+    chunk :: chunks n rest
+  end
+
 (* Thread counts swept for a machine: physical cores socket by socket,
    then SMT lanes, like the paper's x axes. *)
 let cores_for ?(full = false) (m : Machine.t) =
@@ -40,19 +71,32 @@ let sample_cores ?(count = 12) (m : Machine.t) =
   let physical = Topology.physical_cores topo in
   List.sort_uniq compare ((physical - 1) :: (total - 1) :: picks)
 
-(* Measured ORDO_BOUNDARY per machine, memoized. *)
+(* Measured ORDO_BOUNDARY per machine, memoized.  Tasks on any pool
+   domain may ask for it, so the table is mutex-protected; the
+   measurement itself runs under a *nested* fresh simulator instance, so
+   the cached value is the same no matter which task computes it first —
+   a cache hit and a cache miss yield identical numbers. *)
+let boundary_lock = Mutex.create ()
 let boundary_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let set_boundary (m : Machine.t) b =
+  Mutex.protect boundary_lock (fun () ->
+      Hashtbl.replace boundary_cache m.Machine.topo.Topology.name b)
 
 let boundary_of ?(runs = 60) (m : Machine.t) =
   let key = m.Machine.topo.Topology.name in
-  match Hashtbl.find_opt boundary_cache key with
-  | Some b -> b
-  | None ->
-    let module E = (val Sim.exec m) in
-    let module B = Ordo_core.Boundary.Make (E) in
-    let b = B.measure ~runs ~cores:(sample_cores m) () in
-    Hashtbl.add boundary_cache key b;
-    b
+  Mutex.protect boundary_lock (fun () ->
+      match Hashtbl.find_opt boundary_cache key with
+      | Some b -> b
+      | None ->
+        let b =
+          Sim.with_fresh_instance (fun () ->
+              let module E = (val Sim.exec m) in
+              let module B = Ordo_core.Boundary.Make (E) in
+              B.measure ~runs ~cores:(sample_cores m) ())
+        in
+        Hashtbl.add boundary_cache key b;
+        b)
 
 (* Timestamp sources.  [logical] is generative (fresh global clock); the
    ordo source closes over the machine's measured boundary. *)
@@ -93,3 +137,22 @@ let sweep ?full ?warm ?dur machine make =
       let op, finish = make ~threads in
       (threads, throughput ?warm ?dur ~finish machine ~threads op))
     (cores_for ?full machine)
+
+(* Several labelled series over the same machine and thread counts, every
+   (series, threads) cell one pool task.  Each [make] builds its whole
+   configuration inside the task.  Returns one [(threads, rate) list] per
+   series, in the order of [makes]. *)
+let par_sweeps ?full ?warm ?dur machine makes =
+  let counts = cores_for ?full machine in
+  let tasks =
+    List.concat_map
+      (fun make ->
+        List.map
+          (fun threads () ->
+            let op, finish = make ~threads in
+            throughput ?warm ?dur ~finish machine ~threads op)
+          counts)
+      makes
+  in
+  let results = par_run tasks in
+  List.map (List.combine counts) (chunks (List.length counts) results)

@@ -18,9 +18,10 @@ let header =
 let run_source ~full machine label (make_ts : unit -> (module Ordo_core.Timestamp.S)) =
   let counts = H.cores_for ~full machine in
   let last = List.fold_left max 1 counts in
-  let final_trace = ref None in
-  let rows =
-    List.map
+  (* Each cell installs its own trace sink — sinks are domain-local, so
+     concurrent cells on pool domains do not interleave events. *)
+  let cells =
+    H.par_map
       (fun threads ->
         let (module T) = make_ts () in
         Trace.start ~capacity:4096 ();
@@ -29,6 +30,13 @@ let run_source ~full machine label (make_ts : unit -> (module Ordo_core.Timestam
               ignore (T.advance () : int))
         in
         let t = Trace.stop () in
+        (threads, thr, t))
+      counts
+  in
+  let final_trace = ref None in
+  let rows =
+    List.map
+      (fun (threads, thr, t) ->
         if threads = last then final_trace := Some t;
         let total, _ = Metrics.totals t in
         [
@@ -44,7 +52,7 @@ let run_source ~full machine label (make_ts : unit -> (module Ordo_core.Timestam
           string_of_int total.Trace.stall_ns;
           string_of_int total.Trace.clock_reads;
         ])
-      counts
+      cells
   in
   P.table
     ~title:(Printf.sprintf "%s: throughput vs coherence traffic (%s)" label (H.machine_label machine))

@@ -55,6 +55,9 @@ let plain_ts boundary : (module Ordo_core.Timestamp.S) =
 
 let run machine_name workload scenario_name seed policy_name unguarded threads dur
     capacity out no_check =
+  (* Own simulator instance — the boundary measurement, the precomputed
+     remeasurement and the faulted run share one continuous timeline. *)
+  Sim.with_fresh_instance @@ fun () ->
   match Machine.by_name machine_name with
   | None ->
     Printf.eprintf "unknown machine %S (available: xeon phi amd arm)\n" machine_name;

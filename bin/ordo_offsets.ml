@@ -79,6 +79,9 @@ let measure_sim json name runs =
     emit ~json ~source:name ~cores ~runs ~matrix ~boundary
 
 let run machine runs max_cores json =
+  (* Each invocation owns its simulator instance; nothing leaks into (or
+     from) other library users in the same process. *)
+  Ordo_sim.Sim.with_fresh_instance @@ fun () ->
   match machine with
   | None -> measure_live json runs max_cores
   | Some name -> measure_sim json name runs

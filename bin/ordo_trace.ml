@@ -49,6 +49,9 @@ let run_workload name machine ts ~threads ~dur =
 (* ---- driver ---- *)
 
 let run machine_name workload source threads dur capacity out skew no_check =
+  (* Own simulator instance: boundary measurement and traced workload run
+     on one continuous per-instance timeline. *)
+  Sim.with_fresh_instance @@ fun () ->
   match Machine.by_name machine_name with
   | None ->
     Printf.eprintf "unknown machine %S (available: xeon phi amd arm)\n" machine_name;

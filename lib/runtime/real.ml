@@ -29,20 +29,20 @@ module Runtime : Runtime_intf.S = struct
   let fence () = ignore (Atomic.get (Atomic.make 0))
 
   (* Tracing hooks: best-effort on the real substrate (host monotonic ns
-     as the timestamp).  The [!on] guard keeps the disabled path to one
-     load and no allocation. *)
+     as the timestamp).  The [enabled] guard keeps the disabled path to
+     one domain-local read and no allocation. *)
   module Trace = Ordo_trace.Trace
 
   let span_begin tag =
-    if !Trace.on then
+    if Trace.enabled () then
       Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Span_begin ~a:(Trace.intern tag) ~b:0 ~c:0
 
   let span_end tag =
-    if !Trace.on then
+    if Trace.enabled () then
       Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Span_end ~a:(Trace.intern tag) ~b:0 ~c:0
 
   let probe tag a b =
-    if !Trace.on then
+    if Trace.enabled () then
       Trace.emit ~tid:(tid ()) ~time:(now ()) Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b
 end
 
@@ -52,9 +52,13 @@ module Exec : Runtime_intf.EXEC = struct
   let num_cores () = Ordo_clock.Tsc.num_cpus ()
 
   let run_on jobs =
+    (* The trace sink is domain-local: hand the launcher's sink to every
+       worker so their emissions land in the parent's recording. *)
+    let trace = Ordo_trace.Trace.active_handle () in
     let spawn i (core, fn) =
       Domain.spawn (fun () ->
           Domain.DLS.set tid_key i;
+          Ordo_trace.Trace.adopt trace;
           ignore (Ordo_clock.Tsc.set_affinity core : bool);
           fn ())
     in

@@ -10,7 +10,7 @@ type line = {
   lid : int;  (* stable id, for trace attribution *)
   mutable owner : int;  (* hardware thread holding the line exclusively, -1 = memory *)
   mutable free_at : int;  (* virtual time at which the line accepts the next RMW/store *)
-  mutable sharers : Bytes.t;  (* bitmap of threads with a valid shared copy; lazily sized *)
+  sharers : Sharers.t;  (* threads with a valid shared copy; immediate int <= 63 hw threads *)
   mutable epoch : int;  (* run id of the last access; stale lines reset lazily *)
 }
 
@@ -19,6 +19,7 @@ type 'a cell = { mutable v : 'a; line : line }
 type thread = {
   id : int;
   mutable time : int;
+  mutable park : int;  (* completion instant of the op being parked; see [finish] *)
   mutable finished : bool;
   smt_factor : float;  (* compute slowdown from co-resident SMT threads *)
   reset : int;  (* invariant-clock start offset of this core *)
@@ -26,77 +27,136 @@ type thread = {
 
 type stats = { events : int; end_vtime : int }
 
+(* Queued events are a closed variant, not closures: the scheduler loop
+   dispatches on the tag and [Resume] carries the parked fiber's
+   continuation directly, so resuming a fiber allocates one small block at
+   park time and nothing at dispatch time. *)
+type event =
+  | Thunk of (unit -> unit)  (* thread start, hazard fire *)
+  | Resume : thread * ('a, unit) Effect.Deep.continuation * 'a -> event
+
 type t = {
   machine : Machine.t;
-  queue : (unit -> unit) Heap.t;
+  queue : event Heap.t;
   rng : Rng.t;
   base : int;  (* timeline value at which this run started *)
+  epoch : int;  (* globally unique id of this run, for lazy line reset *)
+  trace : bool;  (* sampled once at run start: is a sink installed? *)
   hazard : Hazard.t option;  (* compiled clock-fault scenario, if any *)
   mutable cur : thread;
+  mutable threads : thread list;  (* every thread of the run, for the final clock fold *)
   mutable n_events : int;
   mutable max_vtime : int;
+      (* Highest virtual time seen by *events* (hazard fires); thread
+         clocks are folded in at the end of the run — [thread.time] only
+         moves forward, so its final value is its maximum and [finish]
+         need not compare on every operation. *)
 }
 
-let current : t option ref = ref None
-let in_simulation () = Option.is_some !current
+(* ---- simulator instances ----
 
-(* Cells survive across runs (workloads are built once, measured under
-   several configurations).  Each run gets a fresh epoch and lines reset
-   lazily on first touch. *)
-let run_epoch = ref 0
+   All previously process-global simulator state lives in an [instance]:
+   the engine of the run in progress, the continuous timeline, and the
+   cache-line id allocator.  Each domain owns one implicit instance
+   (domain-local storage), so independent simulations may run concurrently
+   on separate domains; an explicit instance can be scoped over a section
+   of code to make a computation's virtual-time history independent of
+   whatever ran before it on this domain (the parallel bench harness gives
+   every experiment point a fresh instance for exactly that reason). *)
 
-(* One continuous timeline across every run and all setup code.  Virtual
-   time never restarts: timestamps stored in long-lived state (transaction
-   contexts, version chains, logs) from an earlier run or from setup code
-   must remain in the *past* of every later clock reading, or algorithms
-   comparing them would wait for clocks to "catch up" — or worse, treat
-   old data as coming from the future. *)
-let timeline = ref 0
+type instance = {
+  mutable running : t option;
+  mutable timeline : int;
+      (* One continuous timeline per instance, across every run and all
+         setup code.  Virtual time never restarts: timestamps stored in
+         long-lived state (transaction contexts, version chains, logs)
+         from an earlier run or from setup code must remain in the *past*
+         of every later clock reading, or algorithms comparing them would
+         wait for clocks to "catch up" — or worse, treat old data as
+         coming from the future. *)
+  mutable line_counter : int;
+  mutable total_events : int;  (* events processed by completed runs *)
+  mutable total_runs : int;
+}
 
-(* ---- sharer bitmap ---- *)
+let new_instance () =
+  { running = None; timeline = 0; line_counter = 0; total_events = 0; total_runs = 0 }
 
-let sharer_mem line tid =
-  let byte = tid / 8 in
-  Bytes.length line.sharers > byte
-  && Char.code (Bytes.unsafe_get line.sharers byte) land (1 lsl (tid mod 8)) <> 0
+let instance_key : instance Domain.DLS.key = Domain.DLS.new_key new_instance
 
-let sharer_add line tid =
-  let byte = tid / 8 in
-  if Bytes.length line.sharers <= byte then begin
-    let bigger = Bytes.make (byte + 1) '\000' in
-    Bytes.blit line.sharers 0 bigger 0 (Bytes.length line.sharers);
-    line.sharers <- bigger
-  end;
-  let old = Char.code (Bytes.unsafe_get line.sharers byte) in
-  Bytes.unsafe_set line.sharers byte (Char.chr (old lor (1 lsl (tid mod 8))))
+(* Run epochs must be unique across *all* instances: cells are ordinary
+   heap values and nothing stops one from escaping to another instance, so
+   a colliding epoch there would wrongly present a stale line as fresh. *)
+let epoch_counter = Atomic.make 1
 
-let sharers_clear line =
-  if Bytes.length line.sharers > 0 then
-    Bytes.fill line.sharers 0 (Bytes.length line.sharers) '\000'
+(* Process-wide count of processed events, for perf records. *)
+let events_counter = Atomic.make 0
+let events_processed () = Atomic.get events_counter
 
-let has_sharers line =
-  let n = Bytes.length line.sharers in
-  let rec scan i = i < n && (Bytes.unsafe_get line.sharers i <> '\000' || scan (i + 1)) in
-  scan 0
+module Instance = struct
+  type i = instance
 
-let sharer_count line =
-  let n = Bytes.length line.sharers in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    let b = ref (Char.code (Bytes.unsafe_get line.sharers i)) in
-    while !b <> 0 do
-      incr total;
-      b := !b land (!b - 1)
-    done
-  done;
-  !total
+  let create = new_instance
 
-let touch line =
-  if line.epoch <> !run_epoch then begin
-    line.epoch <- !run_epoch;
+  let scoped inst f =
+    let prev = Domain.DLS.get instance_key in
+    if prev.running <> None then invalid_arg "Engine.Instance.scoped: inside a run";
+    if inst.running <> None then invalid_arg "Engine.Instance.scoped: instance is running";
+    Domain.DLS.set instance_key inst;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set instance_key prev) f
+
+  let fresh f = scoped (create ()) f
+  let events inst = inst.total_events
+  let runs inst = inst.total_runs
+end
+
+let instance () = Domain.DLS.get instance_key
+let in_simulation () = (instance ()).running <> None
+
+(* ---- hot-path sharer operations ----
+
+   Manually inlined over the representation [Sharers.t] exposes for this
+   purpose: without flambda, a cross-module call per simulated cache event
+   would cost more than the bit test it performs.  Only the fast cases
+   live here; migration and buffer growth go through [Sharers.add]. *)
+
+let[@inline] sharer_mem (s : Sharers.t) tid =
+  let big = s.Sharers.big in
+  if big == Bytes.empty then
+    tid < Sharers.small_limit && s.Sharers.small land (1 lsl tid) <> 0
+  else
+    let byte = tid lsr 3 in
+    byte < Bytes.length big
+    && Char.code (Bytes.unsafe_get big byte) land (1 lsl (tid land 7)) <> 0
+
+let[@inline] sharer_add (s : Sharers.t) tid =
+  let big = s.Sharers.big in
+  if big == Bytes.empty then begin
+    if tid < Sharers.small_limit then s.Sharers.small <- s.Sharers.small lor (1 lsl tid)
+    else Sharers.add s tid (* migrate *)
+  end
+  else begin
+    let byte = tid lsr 3 in
+    if byte < Bytes.length big then
+      Bytes.unsafe_set big byte
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get big byte) lor (1 lsl (tid land 7))))
+    else Sharers.add s tid (* grow *)
+  end
+
+let[@inline] sharer_clear (s : Sharers.t) =
+  let big = s.Sharers.big in
+  if big == Bytes.empty then s.Sharers.small <- 0
+  else Bytes.fill big 0 (Bytes.length big) '\000'
+
+let[@inline] sharer_is_empty (s : Sharers.t) =
+  if s.Sharers.big == Bytes.empty then s.Sharers.small = 0 else Sharers.is_empty s
+
+let[@inline] touch eng (line : line) =
+  if line.epoch <> eng.epoch then begin
+    line.epoch <- eng.epoch;
     line.owner <- -1;
     line.free_at <- 0;
-    sharers_clear line
+    sharer_clear line.sharers
   end
 
 (* ---- the one effect ----
@@ -108,30 +168,46 @@ let touch line =
    ever needs from the scheduler is "resume me with this value at this
    instant", so that is the only effect. *)
 
-type _ Effect.t += E_resume : ('a * int) -> 'a Effect.t
-
-let line_counter = ref 0
+(* The completion instant travels in [thread.park] rather than in the
+   effect payload: performing [E_resume v] then allocates no tuple, and
+   for an immediate [v] nothing at all beyond the effect itself. *)
+type _ Effect.t += E_resume : 'a -> 'a Effect.t
 
 let cell v =
-  incr line_counter;
-  { v; line = { lid = !line_counter; owner = -1; free_at = 0; sharers = Bytes.empty; epoch = 0 } }
+  let inst = instance () in
+  inst.line_counter <- inst.line_counter + 1;
+  {
+    v;
+    line =
+      {
+        lid = inst.line_counter;
+        owner = -1;
+        free_at = 0;
+        sharers = Sharers.create ();
+        epoch = 0;
+      };
+  }
 
 let line_id c = c.line.lid
 
-(* The earliest queued event: a thread must not run past it directly. *)
-let horizon eng = match Heap.min_time eng.queue with None -> max_int | Some time -> time
+(* The earliest queued event: a thread must not run past it directly.
+   [Heap.next_time] is allocation-free — this check runs once per
+   operation. *)
+let[@inline] horizon eng = Heap.next_time eng.queue
 
 (* Finish an operation that completes at [completion]: advance the local
    clock directly when no other thread could act first, otherwise park the
    fiber in the event queue. *)
-let finish : type a. t -> thread -> a -> int -> a =
+let[@inline] finish : type a. t -> thread -> a -> int -> a =
  fun eng th v completion ->
-  if completion > eng.max_vtime then eng.max_vtime <- completion;
   if completion < horizon eng then begin
     th.time <- completion;
     v
   end
-  else Effect.perform (E_resume (v, completion))
+  else begin
+    th.park <- completion;
+    Effect.perform (E_resume v)
+  end
 
 (* ---- hazard hooks ----
 
@@ -149,15 +225,18 @@ let locate eng id =
    first blocks until the window closes.  Going through [finish] keeps
    the initiation-order-equals-virtual-time-order invariant: the fiber
    parks in the queue if any other thread could act first. *)
-let offline_release eng th =
-  match eng.hazard with
-  | None -> ()
-  | Some h ->
-    let w = h.Hazard.offline.(th.id) in
-    for i = 0 to Array.length w - 1 do
-      let s, e = w.(i) in
-      if th.time >= s && th.time < e then ignore (finish eng th () e : unit)
-    done
+let offline_release_slow eng th h =
+  let w = h.Hazard.offline.(th.id) in
+  for i = 0 to Array.length w - 1 do
+    let s, e = w.(i) in
+    if th.time >= s && th.time < e then ignore (finish eng th () e : unit)
+  done
+
+(* The guard is split from the loop so the no-scenario case inlines to a
+   pointer test (functions containing loops are never inlined without
+   flambda, and this runs on every operation). *)
+let[@inline] offline_release eng th =
+  match eng.hazard with None -> () | Some h -> offline_release_slow eng th h
 
 (* The invariant clock under a scenario: the thread's precompiled
    piecewise-linear function, evaluated at the completion instant. *)
@@ -179,36 +258,38 @@ let noise eng =
    line ([free_at]) and then pay the transfer — this is what makes the
    remote-write → local-read handoff of the offset measurement cost a full
    one-way delay, as on real coherence hardware. *)
-let read_completion eng th line =
-  touch line;
+(* Completion time of a load miss: wait for any in-flight exclusive
+   operation on the line ([free_at]), then pay the transfer — this is what
+   makes the remote-write → local-read handoff of the offset measurement
+   cost a full one-way delay, as on real coherence hardware.  The hit case
+   (owned or validly shared: [l1_ns]) is inlined at the call site in
+   [read], where it is the hottest path of a read-mostly simulation. *)
+let read_miss eng th line =
   let m = eng.machine in
-  if line.owner = th.id || sharer_mem line th.id then th.time + m.Machine.l1_ns
-  else begin
-    let cls, cost =
-      if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
-      else
-        let req = locate eng th.id and own = locate eng line.owner in
-        (Machine.transfer_class m req own, Machine.transfer_ns m req own)
-    in
-    sharer_add line th.id;
-    let start = max th.time line.free_at in
-    (* Misses are pipelined through the line's directory slot: each one
-       occupies it briefly, so a storm of misses on a hot line serializes. *)
-    line.free_at <- start + m.Machine.read_service_ns;
-    if !Trace.on then
-      Trace.emit ~tid:th.id ~time:(start + cost) Trace.Transfer ~a:line.lid ~b:cls ~c:cost;
-    start + cost
-  end
+  let cls, cost =
+    if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
+    else
+      let req = locate eng th.id and own = locate eng line.owner in
+      (Machine.transfer_class m req own, Machine.transfer_ns m req own)
+  in
+  sharer_add line.sharers th.id;
+  let start = max th.time line.free_at in
+  (* Misses are pipelined through the line's directory slot: each one
+     occupies it briefly, so a storm of misses on a hot line serializes. *)
+  line.free_at <- start + m.Machine.read_service_ns;
+  if eng.trace then
+    Trace.emit ~tid:th.id ~time:(start + cost) Trace.Transfer ~a:line.lid ~b:cls ~c:cost;
+  start + cost
 
 (* A store or RMW: wait for the line, pull it over, invalidate sharers.
    RMWs on a hot line therefore serialize — the logical-clock bottleneck. *)
 let exclusive_completion eng th line ~exec_ns =
-  touch line;
+  touch eng line;
   let m = eng.machine in
   let start = max th.time line.free_at in
   let cls, transfer =
     if line.owner = th.id then
-      if has_sharers line then (Trace.cls_llc, m.Machine.llc_ns)
+      if not (sharer_is_empty line.sharers) then (Trace.cls_llc, m.Machine.llc_ns)
       else (Trace.cls_l1, m.Machine.l1_ns)
     else if line.owner < 0 then (Trace.cls_mem, m.Machine.mem_ns)
     else
@@ -218,13 +299,13 @@ let exclusive_completion eng th line ~exec_ns =
   let completion = start + transfer + exec_ns + noise eng in
   (* Emission reads line state, so it must precede the mutations; it is
      purely observational and charges no virtual time. *)
-  if !Trace.on then begin
+  if eng.trace then begin
     let wait = start - th.time in
     if wait > 0 then
       Trace.emit ~tid:th.id ~time:start Trace.Rmw_stall ~a:line.lid ~b:wait ~c:0;
     let copies =
-      sharer_count line
-      - (if sharer_mem line th.id then 1 else 0)
+      Sharers.count line.sharers
+      - (if Sharers.mem line.sharers th.id then 1 else 0)
       + (if line.owner >= 0 && line.owner <> th.id then 1 else 0)
     in
     if copies > 0 then
@@ -233,7 +314,7 @@ let exclusive_completion eng th line ~exec_ns =
   end;
   line.free_at <- completion;
   line.owner <- th.id;
-  sharers_clear line;
+  sharer_clear line.sharers;
   completion
 
 let scale th ns = int_of_float (float_of_int ns *. th.smt_factor)
@@ -241,15 +322,22 @@ let scale th ns = int_of_float (float_of_int ns *. th.smt_factor)
 (* ---- operations ---- *)
 
 let read c =
-  match !current with
+  match (instance ()).running with
   | None -> c.v
   | Some eng ->
     let th = eng.cur in
     offline_release eng th;
-    finish eng th c.v (read_completion eng th c.line)
+    let line = c.line in
+    touch eng line;
+    let completion =
+      if line.owner = th.id || sharer_mem line.sharers th.id then
+        th.time + eng.machine.Machine.l1_ns
+      else read_miss eng th line
+    in
+    finish eng th c.v completion
 
 let write c x =
-  match !current with
+  match (instance ()).running with
   | None -> c.v <- x
   | Some eng ->
     let th = eng.cur in
@@ -261,7 +349,7 @@ let write c x =
     finish eng th () completion
 
 let cas c expected desired =
-  match !current with
+  match (instance ()).running with
   | None ->
     let ok = c.v == expected in
     if ok then c.v <- desired;
@@ -277,7 +365,7 @@ let cas c expected desired =
     finish eng th ok completion
 
 let fetch_add c n =
-  match !current with
+  match (instance ()).running with
   | None ->
     let old = c.v in
     c.v <- old + n;
@@ -293,7 +381,7 @@ let fetch_add c n =
     finish eng th old completion
 
 let exchange c x =
-  match !current with
+  match (instance ()).running with
   | None ->
     let old = c.v in
     c.v <- x;
@@ -309,24 +397,25 @@ let exchange c x =
     finish eng th old completion
 
 let get_time () =
-  match !current with
+  let inst = instance () in
+  match inst.running with
   | None ->
     (* Outside a simulation (setup/teardown) the clock still moves, along
        the same timeline, or Ordo's [new_time] would spin forever. *)
-    timeline := !timeline + 10;
-    clock_epoch + !timeline
+    inst.timeline <- inst.timeline + 10;
+    clock_epoch + inst.timeline
   | Some eng ->
     let th = eng.cur in
     offline_release eng th;
     let completion = th.time + scale th eng.machine.Machine.tsc_ns + noise eng in
     let value = clock_value eng th completion in
-    if !Trace.on then
+    if eng.trace then
       Trace.emit ~tid:th.id ~time:completion Trace.Clock_read ~a:value ~b:0
         ~c:(completion - th.time);
     finish eng th value completion
 
 let now () =
-  match !current with
+  match (instance ()).running with
   | None -> 0
   | Some eng ->
     (* Relative to the start of this run: harness loops measure durations
@@ -336,20 +425,20 @@ let now () =
     let completion = th.time + eng.machine.Machine.l1_ns in
     finish eng th (completion - eng.base) completion
 
-let tid () = match !current with None -> 0 | Some eng -> eng.cur.id
+let tid () = match (instance ()).running with None -> 0 | Some eng -> eng.cur.id
 
 let pause () =
-  match !current with
+  match (instance ()).running with
   | None -> ()
   | Some eng ->
     let th = eng.cur in
     offline_release eng th;
     let completion = th.time + eng.machine.Machine.pause_ns in
-    if !Trace.on then Trace.emit ~tid:th.id ~time:completion Trace.Pause ~a:0 ~b:0 ~c:0;
+    if eng.trace then Trace.emit ~tid:th.id ~time:completion Trace.Pause ~a:0 ~b:0 ~c:0;
     finish eng th () completion
 
 let work n =
-  match !current with
+  match (instance ()).running with
   | None -> ()
   | Some eng ->
     let th = eng.cur in
@@ -361,29 +450,31 @@ let fence () = ()
 (* ---- tracing hooks (app-level spans and probes) ----
 
    These stamp the current thread's local time and cost nothing: no
-   virtual-time charge, no effect, no RNG draw. *)
+   virtual-time charge, no effect, no RNG draw.  The engine samples the
+   sink's presence once per run ([eng.trace]), so the disabled path is a
+   field load rather than a domain-local lookup. *)
 
 let span_begin tag =
-  if !Trace.on then
-    match !current with
-    | None -> ()
-    | Some eng ->
+  match (instance ()).running with
+  | None -> ()
+  | Some eng ->
+    if eng.trace then
       Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_begin ~a:(Trace.intern tag)
         ~b:0 ~c:0
 
 let span_end tag =
-  if !Trace.on then
-    match !current with
-    | None -> ()
-    | Some eng ->
+  match (instance ()).running with
+  | None -> ()
+  | Some eng ->
+    if eng.trace then
       Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_end ~a:(Trace.intern tag) ~b:0
         ~c:0
 
 let probe tag a b =
-  if !Trace.on then
-    match !current with
-    | None -> ()
-    | Some eng ->
+  match (instance ()).running with
+  | None -> ()
+  | Some eng ->
+    if eng.trace then
       Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b
 
 (* ---- scheduler ---- *)
@@ -397,18 +488,18 @@ let fiber eng th fn =
       effc =
         (fun (type a) (e : a Effect.t) ->
           match e with
-          | E_resume (v, completion) ->
+          | E_resume v ->
             Some
               (fun (k : (a, unit) continuation) ->
+                let completion = th.park in
                 th.time <- completion;
-                Heap.push eng.queue ~time:completion (fun () ->
-                    eng.cur <- th;
-                    continue k v))
+                Heap.push eng.queue ~time:completion (Resume (th, k, v)))
           | _ -> None);
     }
 
 let run ?scenario machine jobs =
-  if Option.is_some !current then invalid_arg "Engine.run: not reentrant";
+  let inst = instance () in
+  if inst.running <> None then invalid_arg "Engine.run: not reentrant";
   let topo = machine.Machine.topo in
   let nthreads = Topology.total_threads topo in
   let seen = Array.make nthreads false in
@@ -425,19 +516,24 @@ let run ?scenario machine jobs =
       let p = Topology.physical_of topo hw in
       lanes.(p) <- lanes.(p) + 1)
     jobs;
-  let base = !timeline in
+  let base = inst.timeline in
   let hazard =
     Option.map (fun s -> Hazard.compile ~epoch:clock_epoch ~base machine s) scenario
   in
-  let dummy = { id = -1; time = base; finished = false; smt_factor = 1.0; reset = 0 } in
+  let dummy =
+    { id = -1; time = base; park = base; finished = false; smt_factor = 1.0; reset = 0 }
+  in
   let eng =
     {
       machine;
       queue = Heap.create ();
       rng = Rng.create ~seed:machine.Machine.seed ();
       base;
+      epoch = Atomic.fetch_and_add epoch_counter 1;
+      trace = Trace.enabled ();
       hazard;
       cur = dummy;
+      threads = [];
       n_events = 0;
       max_vtime = base;
     }
@@ -450,18 +546,21 @@ let run ?scenario machine jobs =
   | Some h ->
     List.iter
       (fun (f : Hazard.fire) ->
-        Heap.push eng.queue ~time:f.at (fun () ->
-            f.Hazard.apply ();
-            if f.at > eng.max_vtime then eng.max_vtime <- f.at;
-            if !Trace.on then
-              Trace.emit ~tid:f.Hazard.tid ~time:f.at Trace.Hazard ~a:f.Hazard.code
-                ~b:f.Hazard.target ~c:f.Hazard.magnitude))
+        Heap.push eng.queue ~time:f.at
+          (Thunk
+             (fun () ->
+               f.Hazard.apply ();
+               if f.at > eng.max_vtime then eng.max_vtime <- f.at;
+               if eng.trace then
+                 Trace.emit ~tid:f.Hazard.tid ~time:f.at Trace.Hazard ~a:f.Hazard.code
+                   ~b:f.Hazard.target ~c:f.Hazard.magnitude)))
       h.Hazard.fires);
   let start (hw, fn) =
     let th =
       {
         id = hw;
         time = base;
+        park = base;
         finished = false;
         smt_factor =
           1.0
@@ -470,25 +569,31 @@ let run ?scenario machine jobs =
         reset = Machine.clock_reset_ns machine hw;
       }
     in
-    Heap.push eng.queue ~time:base (fun () ->
-        eng.cur <- th;
-        fiber eng th fn)
+    eng.threads <- th :: eng.threads;
+    Heap.push eng.queue ~time:base
+      (Thunk
+         (fun () ->
+           eng.cur <- th;
+           fiber eng th fn))
   in
   List.iter start jobs;
-  incr run_epoch;
-  current := Some eng;
+  inst.running <- Some eng;
   Fun.protect
-    ~finally:(fun () -> current := None)
+    ~finally:(fun () -> inst.running <- None)
     (fun () ->
-      let rec drain () =
-        match Heap.pop eng.queue with
-        | None -> ()
-        | Some (_, act) ->
-          eng.n_events <- eng.n_events + 1;
-          act ();
-          drain ()
-      in
-      drain ());
+      let queue = eng.queue in
+      while not (Heap.is_empty queue) do
+        eng.n_events <- eng.n_events + 1;
+        match Heap.pop_exn queue with
+        | Thunk f -> f ()
+        | Resume (th, k, v) ->
+          eng.cur <- th;
+          Effect.Deep.continue k v
+      done);
+  (* Thread clocks only move forward, so each final [time] is that
+     thread's maximum — folding here replaces a compare on every call to
+     [finish]. *)
+  List.iter (fun th -> if th.time > eng.max_vtime then eng.max_vtime <- th.time) eng.threads;
   (* Later clock readings (and the next run) live in this run's future;
      the margin clears the largest per-core reset offset — and, after a
      hazard run, however far behind the slowest perturbed clock ended up,
@@ -506,5 +611,8 @@ let run ?scenario machine jobs =
         h.Hazard.clocks;
       !worst
   in
-  timeline := eng.max_vtime + 10_000 + deficit;
+  inst.timeline <- eng.max_vtime + 10_000 + deficit;
+  inst.total_events <- inst.total_events + eng.n_events;
+  inst.total_runs <- inst.total_runs + 1;
+  ignore (Atomic.fetch_and_add events_counter eng.n_events : int);
   { events = eng.n_events; end_vtime = eng.max_vtime - base }

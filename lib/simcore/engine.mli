@@ -13,9 +13,46 @@
     and RMWs wait for the line to be free, pay transfer + execution cost,
     take ownership, and invalidate all sharers — RMWs on a hot line
     therefore serialize, which is precisely the logical-clock bottleneck
-    the paper attacks. *)
+    the paper attacks.
+
+    All previously process-global engine state (the running engine, the
+    continuous timeline, the line-id allocator) lives in an {!Instance.i}.
+    Every domain owns one implicit instance through domain-local storage,
+    so independent simulations can run concurrently on separate OCaml 5
+    domains; {!Instance.scoped} substitutes an explicit instance for a
+    section of code, making its virtual-time history independent of
+    whatever ran before on the same domain. *)
 
 type 'a cell
+
+(** Simulator instances: the handle API over the engine's per-domain
+    state. *)
+module Instance : sig
+  type i
+
+  val create : unit -> i
+  (** A fresh instance: empty timeline, no run in progress. *)
+
+  val scoped : i -> (unit -> 'a) -> 'a
+  (** [scoped inst f] makes [inst] the calling domain's simulator instance
+      for the duration of [f] (restored afterwards, also on exceptions).
+      Raises [Invalid_argument] if called while a run is in progress, or if
+      [inst] itself is mid-run on another domain.  An instance must not be
+      scoped on two domains at once. *)
+
+  val fresh : (unit -> 'a) -> 'a
+  (** [fresh f] = [scoped (create ()) f]: run [f] on a brand-new timeline. *)
+
+  val events : i -> int
+  (** Events processed by all completed runs of this instance. *)
+
+  val runs : i -> int
+  (** Number of completed runs of this instance. *)
+end
+
+val events_processed : unit -> int
+(** Process-wide count of simulator events processed by completed runs on
+    any domain or instance (monotone; for perf records). *)
 
 type stats = {
   events : int;  (** Number of scheduled events processed. *)
@@ -65,8 +102,11 @@ val in_simulation : unit -> bool
 val run :
   ?scenario:Ordo_hazard.Scenario.t -> Machine.t -> (int * (unit -> unit)) list -> stats
 (** [run machine jobs] runs each [(hw_thread, fn)] as one simulated thread
-    pinned to that hardware thread, to completion.  Hardware thread ids
-    must be distinct and within the machine's topology.  Not reentrant.
+    pinned to that hardware thread, to completion, on the calling domain's
+    current simulator instance.  Hardware thread ids must be distinct and
+    within the machine's topology.  Not reentrant within one instance.
+    Whether tracing is active is sampled once at run start — install the
+    sink ([Ordo_trace.Trace.start]) before launching the run.
 
     [scenario] injects clock faults on the run's timeline: per-core rate
     changes and step jumps alter what {!get_time} returns (via compiled

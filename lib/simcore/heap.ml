@@ -1,72 +1,119 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* 4-ary min-heap in structure-of-arrays layout: keys ([time], [seq]) in
+   flat int arrays, payloads in a separate array.  Sifting compares only
+   the int arrays (no payload dereference), moves entries hole-style
+   (one write per level instead of a three-word swap), and the arity of 4
+   halves the depth of the binary tree — the event queue is the hottest
+   data structure in the simulator.
+
+   Invariant: [times], [seqs] and [data] always have the same physical
+   length; entries [0 .. len-1] are live.  Every index the sift loops
+   touch is below [len] <= capacity, so element accesses are unchecked.
+   [data] slots above [len] may retain stale payload references until
+   overwritten (the payload array needs a filler value to clear them,
+   which a polymorphic heap does not have) — the same bounded retention
+   the previous entry-record heap had. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable data : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () = { times = [||]; seqs = [||]; data = [||]; len = 0; next_seq = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
-  let cap = Array.length t.data in
+let grow t payload =
+  let cap = Array.length t.times in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let data = Array.make ncap entry in
+    let times = Array.make ncap 0 in
+    let seqs = Array.make ncap 0 in
+    let data = Array.make ncap payload in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
     Array.blit t.data 0 data 0 t.len;
+    t.times <- times;
+    t.seqs <- seqs;
     t.data <- data
   end
 
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  let data = t.data in
+  grow t payload;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let times = t.times and seqs = t.seqs and data = t.data in
+  (* Sift the hole up: parents later than the new key move down a level;
+     the new entry is written once, at its final position. *)
   let i = ref t.len in
   t.len <- t.len + 1;
-  data.(!i) <- entry;
-  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if before data.(!i) data.(parent) then begin
-      let tmp = data.(parent) in
-      data.(parent) <- data.(!i);
-      data.(!i) <- tmp;
+    let parent = (!i - 1) lsr 2 in
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set data !i (Array.unsafe_get data parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set data !i payload
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let times = t.times and seqs = t.seqs and data = t.data in
+  let top = Array.unsafe_get data 0 in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n > 0 then begin
+    (* Sift the displaced last entry down through the hole at the root. *)
+    let time = Array.unsafe_get times n and seq = Array.unsafe_get seqs n in
+    let payload = Array.unsafe_get data n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let base = (4 * !i) + 1 in
+      if base >= n then continue := false
+      else begin
+        let last = min (base + 3) (n - 1) in
+        let s = ref base in
+        let st = ref (Array.unsafe_get times base) in
+        let ss = ref (Array.unsafe_get seqs base) in
+        for c = base + 1 to last do
+          let ct = Array.unsafe_get times c in
+          if ct < !st || (ct = !st && Array.unsafe_get seqs c < !ss) then begin
+            s := c;
+            st := ct;
+            ss := Array.unsafe_get seqs c
+          end
+        done;
+        if !st < time || (!st = time && !ss < seq) then begin
+          Array.unsafe_set times !i !st;
+          Array.unsafe_set seqs !i !ss;
+          Array.unsafe_set data !i (Array.unsafe_get data !s);
+          i := !s
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set times !i time;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set data !i payload
+  end;
+  top
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      let data = t.data in
-      data.(0) <- data.(t.len);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && before data.(l) data.(!smallest) then smallest := l;
-        if r < t.len && before data.(r) data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = data.(!smallest) in
-          data.(!smallest) <- data.(!i);
-          data.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    Some (time, pop_exn t)
   end
 
-let min_time t = if t.len = 0 then None else Some t.data.(0).time
+let min_time t = if t.len = 0 then None else Some t.times.(0)
+let next_time t = if t.len = 0 then max_int else Array.unsafe_get t.times 0

@@ -1,7 +1,12 @@
-(** Array-based binary min-heap keyed by [(time, seq)] pairs.
+(** Array-based 4-ary min-heap keyed by [(time, seq)] pairs.
 
     The sequence number gives FIFO order to events scheduled for the same
-    virtual instant, which keeps the simulation fully deterministic. *)
+    virtual instant, which keeps the simulation fully deterministic.
+
+    Keys live in flat [int] arrays separate from the payloads, so sift
+    comparisons never dereference a payload, and the 4-ary shape halves
+    the tree depth of a binary heap — both matter because the scheduler
+    pushes and pops one entry per simulated event. *)
 
 type 'a t
 
@@ -15,4 +20,15 @@ val push : 'a t -> time:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum [(time, payload)]. *)
 
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum payload without allocating.
+    Raises [Invalid_argument] on an empty heap — guard with {!is_empty};
+    the scheduler drain loop uses this to avoid an option + pair
+    allocation per event. *)
+
 val min_time : 'a t -> int option
+
+val next_time : 'a t -> int
+(** Time key of the minimum entry, or [max_int] when empty — the
+    allocation-free variant of {!min_time} for the per-operation horizon
+    check. *)

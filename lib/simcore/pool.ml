@@ -1,0 +1,50 @@
+(* Fork-join over OCaml 5 domains with a shared work counter.  Every task
+   runs under a fresh simulator instance so results are independent of
+   placement and interleaving — parallel and sequential execution produce
+   identical per-task results. *)
+
+let exec_task tasks results failure i =
+  match Engine.Instance.fresh (fun () -> (Array.get tasks i) ()) with
+  | r -> results.(i) <- Some r
+  | exception e ->
+    (* Keep the first failure; let the remaining tasks finish (results in
+       slots are independent). *)
+    ignore (Atomic.compare_and_set failure None (Some e) : bool)
+
+let run ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let failure = Atomic.make None in
+  (* Never oversubscribe domains: above the hardware parallelism extra
+     domains only add minor-GC synchronization overhead (every minor
+     collection is a stop-the-world across domains).  The cap cannot
+     change results — tasks are placement-independent. *)
+  let workers = min (min jobs n) (Domain.recommended_domain_count ()) in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      exec_task tasks results failure i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          exec_task tasks results failure i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> invalid_arg "Pool.run: missing task result")
+       results)
+
+let map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)

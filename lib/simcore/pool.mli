@@ -1,0 +1,27 @@
+(** Fork-join domain pool for independent simulator tasks.
+
+    Each task executes under a *fresh* simulator instance
+    ({!Engine.Instance.fresh}) whether it runs on the calling domain or on
+    a spawned worker — so a task's results never depend on which domain it
+    lands on, how the pool interleaves tasks, or what ran before it.  That
+    is the property that makes a parallel sweep byte-identical to a
+    sequential one: [run ~jobs:1] and [run ~jobs:n] perform exactly the
+    same per-task computations.
+
+    Tasks must be self-contained: build their own workload state, seed
+    their own RNGs, and not share engine cells or timestamp sources with
+    other tasks.  A task may install a trace sink, provided it also stops
+    it (sinks are domain-local and the domain is reused for later tasks). *)
+
+val run : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs tasks] executes every task and returns their results in
+    task order.  [jobs <= 1] runs sequentially on the calling domain;
+    otherwise up to [jobs] domains (the caller included) pull tasks from a
+    shared counter.  The worker count is additionally capped at
+    [Domain.recommended_domain_count ()] — oversubscribing domains buys
+    no parallelism and pays stop-the-world minor-GC coordination.  The
+    first task exception (if any) is re-raised after all workers have
+    drained. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)

@@ -1,0 +1,86 @@
+(* Adaptive sharer bitmap.  [big == Bytes.empty] means the set is in
+   small mode and lives entirely in [small] (bit i = thread i, ids
+   0 .. small_limit-1).  Big mode is entered on the first [add] of an id
+   >= small_limit and is permanent for the set: [clear] zeroes the buffer
+   in place, so a line on a >63-thread machine pays the migration once
+   rather than once per run epoch. *)
+
+type t = { mutable small : int; mutable big : Bytes.t }
+
+(* One bit per thread id in an immediate int, keeping the bitmap a
+   non-negative OCaml int (63 usable bits on 64-bit hosts). *)
+let small_limit = Sys.int_size - 1
+
+let create () = { small = 0; big = Bytes.empty }
+let is_small t = t.big == Bytes.empty
+
+let mem t tid =
+  if is_small t then tid < small_limit && t.small land (1 lsl tid) <> 0
+  else begin
+    let byte = tid lsr 3 in
+    Bytes.length t.big > byte
+    && Char.code (Bytes.unsafe_get t.big byte) land (1 lsl (tid land 7)) <> 0
+  end
+
+let set_big_bit t tid =
+  let byte = tid lsr 3 in
+  if Bytes.length t.big <= byte then begin
+    let bigger = Bytes.make (max (byte + 1) (2 * Bytes.length t.big)) '\000' in
+    Bytes.blit t.big 0 bigger 0 (Bytes.length t.big);
+    t.big <- bigger
+  end;
+  let old = Char.code (Bytes.unsafe_get t.big byte) in
+  Bytes.unsafe_set t.big byte (Char.chr (old lor (1 lsl (tid land 7))))
+
+(* Migrate the small bits into a byte bitmap sized for [tid]. *)
+let migrate t tid =
+  let bytes = Bytes.make ((tid lsr 3) + 1) '\000' in
+  let small = t.small in
+  t.big <- bytes;
+  t.small <- 0;
+  let i = ref 0 and bits = ref small in
+  while !bits <> 0 do
+    if !bits land 1 <> 0 then set_big_bit t !i;
+    incr i;
+    bits := !bits lsr 1
+  done
+
+let add t tid =
+  if tid < 0 then invalid_arg "Sharers.add: negative thread id";
+  if is_small t then
+    if tid < small_limit then t.small <- t.small lor (1 lsl tid)
+    else begin
+      migrate t tid;
+      set_big_bit t tid
+    end
+  else set_big_bit t tid
+
+let clear t =
+  if is_small t then t.small <- 0
+  else Bytes.fill t.big 0 (Bytes.length t.big) '\000'
+
+let is_empty t =
+  if is_small t then t.small = 0
+  else begin
+    let n = Bytes.length t.big in
+    let rec scan i = i >= n || (Bytes.unsafe_get t.big i = '\000' && scan (i + 1)) in
+    scan 0
+  end
+
+let popcount_int bits =
+  let total = ref 0 and b = ref bits in
+  while !b <> 0 do
+    incr total;
+    b := !b land (!b - 1)
+  done;
+  !total
+
+let count t =
+  if is_small t then popcount_int t.small
+  else begin
+    let total = ref 0 in
+    for i = 0 to Bytes.length t.big - 1 do
+      total := !total + popcount_int (Char.code (Bytes.unsafe_get t.big i))
+    done;
+    !total
+  end

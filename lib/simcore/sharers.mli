@@ -1,0 +1,46 @@
+(** Sharer set of a simulated cache line: which hardware threads hold a
+    valid shared copy.
+
+    Representation is adaptive.  While every member thread id is below
+    {!small_limit} the set is a single immediate [int] bitmap (bit [i] =
+    thread [i]) — membership, insertion, clearing and popcount touch no
+    heap memory, which matters because every load miss and every
+    invalidation walks this set.  The first insertion of an id at or above
+    {!small_limit} migrates the set to a lazily-grown [Bytes] bitmap; once
+    big, a set stays big (clearing zeroes the buffer in place instead of
+    reallocating), so a line that is hot on a 240-thread machine migrates
+    at most once. *)
+
+type t = {
+  mutable small : int;  (** immediate bitmap, bit [i] = thread [i]; valid iff [big == Bytes.empty] *)
+  mutable big : Bytes.t;  (** byte bitmap once migrated; [Bytes.empty] means small mode *)
+}
+(** The representation is exposed (and is part of this module's contract)
+    so the engine can inline the small-mode fast paths at its call sites —
+    without flambda a cross-module call per simulated cache event would
+    dominate the cost of the operation itself.  Invariants: in small mode
+    [big == Bytes.empty] and [small] holds only bits below {!small_limit};
+    in big mode [small = 0] and membership lives in [big].  All slow paths
+    (migration, buffer growth) must go through {!add}. *)
+
+val small_limit : int
+(** Thread ids below this (63 on a 64-bit host) use the immediate-int
+    representation. *)
+
+val create : unit -> t
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+
+val clear : t -> unit
+(** Remove all members.  Keeps the big-bitmap buffer if one was ever
+    allocated. *)
+
+val is_empty : t -> bool
+
+val count : t -> int
+(** Number of member threads (popcount). *)
+
+val is_small : t -> bool
+(** True while the set uses the immediate-int representation (exposed for
+    tests). *)

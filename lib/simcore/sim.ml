@@ -23,6 +23,7 @@ module Runtime : Runtime_intf.S = struct
 end
 
 let run_on ?scenario machine jobs = Engine.run ?scenario machine jobs
+let with_fresh_instance f = Engine.Instance.fresh f
 
 let run ?scenario machine ~threads fn =
   Engine.run ?scenario machine (List.init threads (fun i -> (i, fun () -> fn i)))

@@ -21,3 +21,10 @@ val run_on :
 val exec : Machine.t -> (module Ordo_runtime.Runtime_intf.EXEC)
 (** Package a machine as an [EXEC] for placement-polymorphic code (the
     boundary measurement). *)
+
+val with_fresh_instance : (unit -> 'a) -> 'a
+(** Run [f] under a brand-new simulator instance (fresh timeline, no
+    inherited engine state) — {!Engine.Instance.fresh}.  Entry points that
+    drive simulations (the CLIs, the bench harness's parallel tasks) scope
+    one of these so their runs are independent of anything that executed
+    earlier on the domain. *)

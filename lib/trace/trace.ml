@@ -130,15 +130,27 @@ type sink = {
   mutable guard_ids : int array;  (* tag ids of guard_tag_names, pre-interned *)
 }
 
-(* Producers read this one flag before doing anything else; [emit] still
-   re-checks the sink so a race with [stop] degrades to a dropped event. *)
-let on = ref false
-let sink : sink option ref = ref None
-let is_tracing () = Option.is_some !sink
+(* The installed sink is *domain-local*: each domain traces (or not)
+   independently, so concurrent simulations in a parallel harness never
+   observe each other's events.  Emission into one sink from several
+   domains remains safe (the seq counter is atomic and growth/interning
+   take the lock) — a parent that wants child domains to feed its sink
+   hands them its {!handle} to {!adopt} (the real substrate does this). *)
+type state = { mutable sink : sink option }
+
+let state_key : state Domain.DLS.key = Domain.DLS.new_key (fun () -> { sink = None })
+let current () = (Domain.DLS.get state_key).sink
+let is_tracing () = Option.is_some (current ())
+let enabled = is_tracing
+
+type handle = sink option
+
+let active_handle () = current ()
+let adopt h = (Domain.DLS.get state_key).sink <- h
 
 let start ?(capacity = 16_384) ?(threads = 64) () =
   if capacity < 1 then invalid_arg "Trace.start: capacity must be >= 1";
-  if Option.is_some !sink then invalid_arg "Trace.start: already tracing";
+  if is_tracing () then invalid_arg "Trace.start: already tracing";
   let s =
     {
       capacity;
@@ -154,7 +166,7 @@ let start ?(capacity = 16_384) ?(threads = 64) () =
       guard_ids = [||];
     }
   in
-  sink := Some s;
+  (Domain.DLS.get state_key).sink <- Some s;
   (* Reserve the guard tags up front so [emit] can reclassify guard probes
      with a cheap array scan instead of a string comparison. *)
   let intern_now tag =
@@ -164,8 +176,7 @@ let start ?(capacity = 16_384) ?(threads = 64) () =
     Hashtbl.add s.tag_ids tag id;
     id
   in
-  s.guard_ids <- Array.map intern_now guard_tag_names;
-  on := true
+  s.guard_ids <- Array.map intern_now guard_tag_names
 
 let grow array tid =
   let n = Array.length array in
@@ -216,7 +227,7 @@ let line_of s line =
     l
 
 let intern tag =
-  match !sink with
+  match current () with
   | None -> -1
   | Some s ->
     (match Hashtbl.find_opt s.tag_ids tag with
@@ -242,10 +253,10 @@ let intern tag =
       id)
 
 let name_line line name =
-  match !sink with None -> () | Some s -> Hashtbl.replace s.line_names line name
+  match current () with None -> () | Some s -> Hashtbl.replace s.line_names line name
 
 let emit ~tid ~time kind ~a ~b ~c =
-  match !sink with
+  match current () with
   | None -> ()
   | Some s ->
     if tid >= Array.length s.bufs then begin
@@ -294,11 +305,10 @@ let emit ~tid ~time kind ~a ~b ~c =
     buf.emitted <- buf.emitted + 1
 
 let stop () =
-  match !sink with
+  match current () with
   | None -> invalid_arg "Trace.stop: not tracing"
   | Some s ->
-    on := false;
-    sink := None;
+    (Domain.DLS.get state_key).sink <- None;
     let events = ref [] and dropped = ref 0 in
     Array.iteri
       (fun tid buf ->

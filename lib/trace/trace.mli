@@ -1,6 +1,6 @@
 (** Deterministic event tracing for the Ordo substrates.
 
-    A process-global sink collects typed events from the simulator engine
+    A *domain-local* sink collects typed events from the simulator engine
     (cache-line transfers, invalidations, RMW serialization stalls, clock
     reads, spin pauses) and from algorithm code (spans and probes routed
     through [Runtime_intf.S]).  Recording is off by default and free when
@@ -13,7 +13,13 @@
     Raw events land in fixed-capacity per-thread ring buffers (oldest
     dropped first, {!t.dropped} counts the loss); per-core and per-line
     counters are updated online at emission and stay exact even after the
-    rings wrap. *)
+    rings wrap.
+
+    The sink is installed per domain, so concurrent simulator instances
+    (the parallel bench harness runs one per domain) trace independently.
+    A runtime that spawns worker domains and wants their events in the
+    parent's trace passes the parent's {!handle} to {!adopt} in each
+    child — emission into a shared sink is thread-safe. *)
 
 type kind =
   | Transfer  (** a = line id, b = transfer class, c = cost in ns *)
@@ -97,11 +103,22 @@ type t = {
   names : (int * string) list;  (** user labels attached with [name_line] *)
 }
 
-val on : bool ref
-(** Producers must check [!on] before computing anything for an emission.
-    Toggled by {!start}/{!stop}; treat as read-only elsewhere. *)
+val enabled : unit -> bool
+(** Producers must check [enabled ()] (one domain-local read) before
+    computing anything for an emission.  The simulator engine samples it
+    once per run and caches the answer on its hot paths. *)
 
 val is_tracing : unit -> bool
+(** Alias of {!enabled}. *)
+
+type handle
+(** An opaque reference to this domain's installed sink (or its absence),
+    for propagating tracing into spawned worker domains. *)
+
+val active_handle : unit -> handle
+val adopt : handle -> unit
+(** [adopt h] makes the calling domain emit into the sink behind [h]
+    (captured in the parent with {!active_handle}). *)
 
 val start : ?capacity:int -> ?threads:int -> unit -> unit
 (** Install the sink.  [capacity] is the per-thread ring size in events

@@ -270,6 +270,32 @@ let cell_ops_match_reference =
       List.rev !actual = expected
       && Array.for_all2 (fun c v -> R.read c = v) cells reference)
 
+let test_big_sharers_across_runs () =
+  (* >63 readers push a line's sharer set into its big-bitmap mode.  The
+     set's buffer outlives the run (cells are ordinary heap values); the
+     next run epoch must lazily clear it — a stale sharer would let a
+     reader hit on a line another thread has since written. *)
+  let c = R.cell 0 in
+  let seen = R.cell 0 in
+  ignore (Sim.run Machine.xeon ~threads:100 (fun _ -> ignore (R.read c : int)));
+  ignore
+    (Sim.run Machine.xeon ~threads:66 (fun i ->
+         if i = 0 then R.write c 42
+         else begin
+           while R.read c <> 42 do
+             R.pause ()
+           done;
+           ignore (R.fetch_add seen 1 : int)
+         end));
+  Alcotest.(check int) "every reader saw the new value" 65 (R.read seen);
+  (* and back down to a small-thread run on the same, now-big, line *)
+  ignore
+    (Sim.run tiny ~threads:4 (fun _ ->
+         for _ = 1 to 100 do
+           ignore (R.fetch_add c 1 : int)
+         done));
+  Alcotest.(check int) "counts exact after re-clear" (42 + 400) (R.read c)
+
 let suite =
   [
     ("outside-sim direct ops", `Quick, test_outside_sim_direct);
@@ -286,6 +312,7 @@ let suite =
     ("private work parallel", `Quick, test_private_work_parallel);
     ("smt slowdown", `Quick, test_smt_slowdown);
     ("lines reset between runs", `Quick, test_lines_reset_between_runs);
+    ("big sharer set across runs", `Quick, test_big_sharers_across_runs);
     ("reader waits for writer", `Quick, test_reader_waits_for_writer);
     ("run validation", `Quick, test_run_validation);
     ("machine presets sane", `Quick, test_machine_presets);

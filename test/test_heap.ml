@@ -61,11 +61,76 @@ let interleaved_push_pop =
         times;
       !ok)
 
+let test_pop_exn () =
+  let h = Heap.create () in
+  Heap.push h ~time:3 "a";
+  Heap.push h ~time:1 "b";
+  Alcotest.(check string) "min payload" "b" (Heap.pop_exn h);
+  Alcotest.(check string) "then next" "a" (Heap.pop_exn h);
+  Alcotest.check_raises "empty raises" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h : string))
+
+let next_time_matches_min_time =
+  qtest "next_time = min_time (max_int when empty)"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 1000))
+    (fun times ->
+      let h = Heap.create () in
+      let agree () =
+        Heap.next_time h = (match Heap.min_time h with None -> max_int | Some t -> t)
+      in
+      agree ()
+      && List.for_all
+           (fun t ->
+             Heap.push h ~time:t ();
+             agree ())
+           times
+      &&
+      let rec drain () =
+        agree () && match Heap.pop h with None -> Heap.next_time h = max_int | Some _ -> drain ()
+      in
+      drain ())
+
+(* Model-based stability: random interleaving of pushes and pops matches
+   a reference priority queue (stable sort by (time, insertion seq)) —
+   exercises growth, hole-based sift-up and the cached-child sift-down
+   together. *)
+let matches_model =
+  qtest "interleaved push/pop matches stable-sorted model"
+    QCheck2.Gen.(
+      list_size (int_range 1 300)
+        (oneof [ map (fun t -> `Push t) (int_range 0 50); return `Pop ]))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] (* (time, seq, payload), kept stable-sorted *) in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push t ->
+            Heap.push h ~time:t !seq;
+            model :=
+              List.stable_sort
+                (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+                ((t, !seq, !seq) :: !model);
+            incr seq;
+            Heap.size h = List.length !model
+          | `Pop -> (
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some (t, v), (mt, _, mv) :: rest ->
+              model := rest;
+              t = mt && v = mv
+            | _ -> false))
+        ops)
+
 let suite =
   [
     ("empty heap", `Quick, test_empty);
     ("single element", `Quick, test_single);
+    ("pop_exn", `Quick, test_pop_exn);
     pops_sorted;
     fifo_on_ties;
     interleaved_push_pop;
+    next_time_matches_min_time;
+    matches_model;
   ]

@@ -3,6 +3,8 @@ let () =
     [
       ("util", Test_util.suite);
       ("heap", Test_heap.suite);
+      ("sharers", Test_sharers.suite);
+      ("pool", Test_pool.suite);
       ("clock", Test_clock.suite);
       ("engine", Test_engine.suite);
       ("runtime", Test_runtime.suite);

@@ -1,0 +1,78 @@
+(* Domain pool: parallel and sequential execution must be
+   indistinguishable — same results in task order, one fresh simulator
+   instance per task, exceptions propagated. *)
+
+module Machine = Ordo_sim.Machine
+module Engine = Ordo_sim.Engine
+module Pool = Ordo_sim.Pool
+module Sim = Ordo_sim.Sim
+module R = Ordo_sim.Sim.Runtime
+
+(* A self-contained simulation task: builds its own cell, returns a
+   value that depends on thread interleaving, virtual time and the
+   event count — anything instance state could perturb. *)
+let sim_task seed () =
+  let c = R.cell 0 in
+  let stats =
+    Sim.run Machine.xeon ~threads:(4 + (seed mod 5)) (fun i ->
+        while R.now () < 5_000 + (100 * seed) do
+          ignore (R.fetch_add c (i + 1) : int)
+        done)
+  in
+  (R.read c, stats.Engine.events, stats.Engine.end_vtime)
+
+let test_results_in_task_order () =
+  let out = Pool.map ~jobs:4 (fun i -> i * i) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  Alcotest.(check (list int)) "map preserves order" [ 0; 1; 4; 9; 16; 25; 36; 49; 64; 81 ] out
+
+let test_parallel_equals_sequential () =
+  let tasks () = List.init 12 (fun s -> sim_task s) in
+  let seq = Pool.run ~jobs:1 (tasks ()) in
+  let par = Pool.run ~jobs:4 (tasks ()) in
+  Alcotest.(check bool) "jobs:4 = jobs:1" true (seq = par)
+
+let test_instance_isolation () =
+  (* Every task gets a fresh instance: a task's result must equal the
+     same computation run alone in this (sequential) test context. *)
+  let alone = List.init 6 (fun s -> Sim.with_fresh_instance (fun () -> sim_task s ())) in
+  let pooled = Pool.run ~jobs:3 (List.init 6 (fun s () -> sim_task s ())) in
+  Alcotest.(check bool) "pooled tasks see no shared state" true (alone = pooled)
+
+let test_more_jobs_than_tasks () =
+  let out = Pool.map ~jobs:16 (fun i -> i + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "jobs > tasks" [ 2; 3; 4 ] out;
+  Alcotest.(check (list int)) "empty task list" [] (Pool.map ~jobs:4 Fun.id [])
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "first failure re-raised (jobs %d)" jobs)
+        (Failure "task 3") (fun () ->
+          ignore
+            (Pool.run ~jobs
+               (List.init 8 (fun i () -> if i = 3 then failwith "task 3" else i)))))
+    [ 1; 4 ]
+
+let test_remaining_tasks_complete () =
+  (* A failing task must not abandon the rest of the batch. *)
+  let done_flags = Array.make 8 false in
+  (try
+     ignore
+       (Pool.run ~jobs:4
+          (List.init 8 (fun i () ->
+               if i = 0 then failwith "boom";
+               done_flags.(i) <- true)))
+   with Failure _ -> ());
+  Alcotest.(check bool) "other tasks still ran" true
+    (Array.for_all Fun.id (Array.sub done_flags 1 7))
+
+let suite =
+  [
+    ("map preserves task order", `Quick, test_results_in_task_order);
+    ("parallel equals sequential", `Quick, test_parallel_equals_sequential);
+    ("per-task instance isolation", `Quick, test_instance_isolation);
+    ("more jobs than tasks", `Quick, test_more_jobs_than_tasks);
+    ("exception propagates", `Quick, test_exception_propagates);
+    ("failure doesn't abandon batch", `Quick, test_remaining_tasks_complete);
+  ]

@@ -1,0 +1,139 @@
+(* Adaptive sharer bitmap: small/big representation boundary, one-way
+   migration, lazy buffer growth, in-place clear — the exact edge cases
+   the engine's manually-inlined fast paths rely on. *)
+
+module Sharers = Ordo_sim.Sharers
+
+let add_all s ids = List.iter (Sharers.add s) ids
+let mem_all s ids = List.for_all (Sharers.mem s) ids
+
+let test_empty () =
+  let s = Sharers.create () in
+  Alcotest.(check bool) "is_empty" true (Sharers.is_empty s);
+  Alcotest.(check int) "count" 0 (Sharers.count s);
+  Alcotest.(check bool) "small" true (Sharers.is_small s);
+  Alcotest.(check bool) "mem 0" false (Sharers.mem s 0);
+  Alcotest.(check bool) "mem big id" false (Sharers.mem s 1000)
+
+let test_small_limit_boundary () =
+  (* small_limit - 1 is the last immediate-int id; small_limit itself
+     must migrate the set. *)
+  let last_small = Sharers.small_limit - 1 in
+  let s = Sharers.create () in
+  Sharers.add s last_small;
+  Alcotest.(check bool) "last small id stays small" true (Sharers.is_small s);
+  Alcotest.(check bool) "mem last small" true (Sharers.mem s last_small);
+  let s2 = Sharers.create () in
+  Sharers.add s2 Sharers.small_limit;
+  Alcotest.(check bool) "small_limit migrates" false (Sharers.is_small s2);
+  Alcotest.(check bool) "mem small_limit" true (Sharers.mem s2 Sharers.small_limit);
+  Alcotest.(check bool) "below-limit id absent" false (Sharers.mem s2 last_small)
+
+let test_migration_preserves_members () =
+  let small_ids = [ 0; 1; 7; 31; Sharers.small_limit - 1 ] in
+  let s = Sharers.create () in
+  add_all s small_ids;
+  Alcotest.(check bool) "small before" true (Sharers.is_small s);
+  Sharers.add s 100;
+  Alcotest.(check bool) "big after" false (Sharers.is_small s);
+  Alcotest.(check bool) "small members survive" true (mem_all s small_ids);
+  Alcotest.(check bool) "new member present" true (Sharers.mem s 100);
+  Alcotest.(check int) "count" (List.length small_ids + 1) (Sharers.count s)
+
+let test_growth () =
+  (* Adds far beyond the current buffer must grow it without losing
+     earlier members; probe around each byte boundary. *)
+  let ids = [ 63; 64; 71; 72; 255; 256; 1023 ] in
+  let s = Sharers.create () in
+  List.iter
+    (fun id ->
+      Sharers.add s id;
+      Alcotest.(check bool) (Printf.sprintf "mem %d after add" id) true (Sharers.mem s id))
+    ids;
+  Alcotest.(check bool) "all retained after growth" true (mem_all s ids);
+  Alcotest.(check int) "count" (List.length ids) (Sharers.count s);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "neighbour %d absent" id) false (Sharers.mem s id))
+    [ 62; 65; 70; 73; 254; 257; 1022; 1024; 4096 ]
+
+let test_clear_small () =
+  let s = Sharers.create () in
+  add_all s [ 0; 5; Sharers.small_limit - 1 ];
+  Sharers.clear s;
+  Alcotest.(check bool) "empty" true (Sharers.is_empty s);
+  Alcotest.(check int) "count" 0 (Sharers.count s);
+  Alcotest.(check bool) "still small" true (Sharers.is_small s)
+
+let test_clear_keeps_big_mode () =
+  (* Once big, always big: clear zeroes the buffer in place so a hot line
+     never re-migrates, and ids in every byte really are gone. *)
+  let s = Sharers.create () in
+  add_all s [ 3; 64; 200 ];
+  Sharers.clear s;
+  Alcotest.(check bool) "empty after clear" true (Sharers.is_empty s);
+  Alcotest.(check int) "count 0" 0 (Sharers.count s);
+  Alcotest.(check bool) "stays big" false (Sharers.is_small s);
+  List.iter
+    (fun id -> Alcotest.(check bool) (Printf.sprintf "mem %d gone" id) false (Sharers.mem s id))
+    [ 3; 64; 200 ];
+  (* reusable after the in-place clear *)
+  Sharers.add s 7;
+  Alcotest.(check bool) "add after clear" true (Sharers.mem s 7);
+  Alcotest.(check int) "count 1" 1 (Sharers.count s)
+
+let test_add_idempotent () =
+  let s = Sharers.create () in
+  Sharers.add s 10;
+  Sharers.add s 10;
+  Sharers.add s 100;
+  Sharers.add s 100;
+  Alcotest.(check int) "duplicates don't inflate count" 2 (Sharers.count s)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Model-based property: any interleaving of add/clear matches a
+   reference [IntSet], across representation migration and growth. *)
+let matches_set_model =
+  qtest "add/clear/mem/count match a set model"
+    QCheck2.Gen.(
+      list_size (int_range 1 120)
+        (oneof
+           [
+             map (fun i -> `Add i) (int_range 0 70);
+             map (fun i -> `Add i) (int_range 0 500);
+             return `Clear;
+           ]))
+    (fun ops ->
+      let module IS = Set.Make (Int) in
+      let s = Sharers.create () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Add i ->
+            Sharers.add s i;
+            model := IS.add i !model
+          | `Clear ->
+            Sharers.clear s;
+            model := IS.empty);
+          Sharers.count s = IS.cardinal !model
+          && Sharers.is_empty s = IS.is_empty !model
+          && IS.for_all (Sharers.mem s) !model
+          && List.for_all
+               (fun probe -> Sharers.mem s probe = IS.mem probe !model)
+               [ 0; 31; 62; 63; 64; 127; 200; 499; 501 ])
+        ops)
+
+let suite =
+  [
+    ("empty set", `Quick, test_empty);
+    ("small_limit boundary", `Quick, test_small_limit_boundary);
+    ("migration preserves members", `Quick, test_migration_preserves_members);
+    ("buffer growth", `Quick, test_growth);
+    ("clear in small mode", `Quick, test_clear_small);
+    ("clear keeps big mode", `Quick, test_clear_keeps_big_mode);
+    ("add idempotent", `Quick, test_add_idempotent);
+    matches_set_model;
+  ]

@@ -36,6 +36,9 @@ let experiments : (string * string * (full:bool -> unit)) list =
     ("ablate_uncertain", "Ablation: OCC_ORDO boundary inflation", Experiments.ablate_uncertain);
     ("ablate_rlu_margin", "Ablation: RLU commit margin", Experiments.ablate_rlu_margin);
     ("trace", "Observability: coherence traffic of timestamp generation", Report.trace_report);
+    ( "analyze",
+      "Correctness: race-detector verdicts over workloads and seeded fixtures",
+      Report.analyze_report );
     ("hazard", "Extension: clock-fault dip and recovery under the guard", Experiments.ext_hazard);
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
   ]
@@ -122,14 +125,20 @@ let write_json path ~jobs ~full ~probes records total_wall total_events =
   close_out oc;
   Printf.printf "perf record written to %s\n%!" path
 
-let run_experiments names full jobs json =
+let run_experiments names full jobs json analyze =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1\n";
     exit 2
   end;
   Harness.jobs := jobs;
   let all = List.map (fun (n, _, _) -> n) experiments in
-  let selected = match names with [] -> all | names -> names in
+  let selected =
+    match (names, analyze) with
+    | [], true -> [ "analyze" ]
+    | names, true when not (List.mem "analyze" names) -> names @ [ "analyze" ]
+    | [], false -> all
+    | names, _ -> names
+  in
   let known n = List.exists (fun (n', _, _) -> n' = n) experiments in
   match List.filter (fun n -> not (known n)) selected with
   | u :: _ ->
@@ -186,6 +195,14 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let analyze_arg =
+  let doc =
+    "Run the race-detector verdict pass (the $(b,analyze) experiment): every workload and \
+     seeded fixture under the dynamic detector.  Alone it selects just that experiment; \
+     with explicit experiment names it appends it."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the Ordo paper (EuroSys'18)" in
   let man =
@@ -199,6 +216,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ordo-bench" ~doc ~man)
-    Term.(const run_experiments $ names_arg $ full_arg $ jobs_arg $ json_arg)
+    Term.(const run_experiments $ names_arg $ full_arg $ jobs_arg $ json_arg $ analyze_arg)
 
 let () = exit (Cmd.eval cmd)

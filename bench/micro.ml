@@ -3,6 +3,10 @@
    on this machine's real hardware clock, atomics and domains-based
    runtime, not in the simulator. *)
 
+(* The clock kernels below time the raw host clock itself — the one
+   place outside lib/clock where that is the point. *)
+[@@@ordo_lint.allow "raw-clock-read"]
+
 open Bechamel
 open Toolkit
 module RR = Ordo_runtime.Real.Runtime

@@ -68,3 +68,83 @@ let trace_report ~full =
   P.kv "measured ORDO_BOUNDARY (ns)" (string_of_int boundary);
   run_source ~full machine "logical" H.logical_ts;
   run_source ~full machine "ordo" (fun () -> H.ordo_ts ~boundary machine)
+
+(* ---- race-detector verdict pass ----
+
+   Run every workload and every seeded-defect fixture under the dynamic
+   race detector and print the verdicts side by side: the correct
+   protocols must come out clean, the seeded defects must fire.  Each
+   cell is one pool task with its own domain-local detector sink, so
+   [--jobs n] output stays byte-identical. *)
+
+module Race = Ordo_analyze.Race
+module Workloads = Ordo_workloads.Workloads
+
+(* (workload, detector must stay silent on it) *)
+let analyze_cases =
+  [
+    ("rlu", true);
+    ("occ", true);
+    ("tl2", true);
+    ("hekaton", true);
+    ("oplog", true);
+    ("race", false);
+    ("window", false);
+    ("handshake", true);
+  ]
+
+let analyze_header =
+  [ "workload"; "accesses"; "syncs"; "stamps"; "ts_edges"; "uncert_cmp"; "conflicts"; "verdict" ]
+
+let analyze_report ~full =
+  P.section "Correctness: race-detector verdicts over workloads and seeded fixtures";
+  let machine = Machine.xeon in
+  let boundary = H.boundary_of machine in
+  P.kv "measured ORDO_BOUNDARY (ns)" (string_of_int boundary);
+  let threads = if full then Ordo_util.Topology.total_threads machine.Machine.topo else 16 in
+  let dur = if full then 400_000 else 150_000 in
+  let cells =
+    H.par_map
+      (fun (name, expect_clean) ->
+        let ts = H.ordo_ts ~boundary machine in
+        Race.start ~boundary
+          ~threads:(Ordo_util.Topology.total_threads machine.Machine.topo)
+          ();
+        ignore
+          (Workloads.run name ~report:false machine ts ~threads ~dur
+            : Ordo_sim.Engine.stats);
+        (name, expect_clean, Race.stop ()))
+      analyze_cases
+  in
+  let bad = ref 0 in
+  let rows =
+    List.map
+      (fun (name, expect_clean, (r : Race.report)) ->
+        let clean = Race.ok r in
+        if clean <> expect_clean then incr bad;
+        let verdict =
+          match (clean, expect_clean) with
+          | true, true -> "clean"
+          | false, false ->
+            Printf.sprintf "fires (%d races, %d uncertain) [seeded]" (Race.races r)
+              (Race.uncertain r)
+          | true, false -> "SILENT on a seeded defect"
+          | false, true -> Printf.sprintf "UNEXPECTED: %d conflicts" r.Race.total_conflicts
+        in
+        [
+          name;
+          string_of_int r.Race.accesses;
+          string_of_int r.Race.syncs;
+          string_of_int r.Race.published;
+          string_of_int r.Race.ts_edges;
+          string_of_int r.Race.ts_uncertain;
+          string_of_int r.Race.total_conflicts;
+          verdict;
+        ])
+      cells
+  in
+  P.table ~title:(Printf.sprintf "detector verdicts (%s)" (H.machine_label machine))
+    ~header:analyze_header rows;
+  P.kv "verdicts matching expectation"
+    (Printf.sprintf "%d/%d%s" (List.length cells - !bad) (List.length cells)
+       (if !bad > 0 then " — MISMATCH" else ""))

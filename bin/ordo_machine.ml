@@ -1,6 +1,9 @@
 (* Report the host's clock backend and calibration — a quick sanity probe
    before trusting Ordo timestamps on a new machine. *)
 
+(* This probe *is* the raw clock report. *)
+[@@@ordo_lint.allow "raw-clock-read"]
+
 let () =
   let open Ordo_clock in
   Ordo_util.Report.section "Host clock report";

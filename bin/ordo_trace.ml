@@ -17,6 +17,7 @@ module Trace = Ordo_trace.Trace
 module Metrics = Ordo_trace.Metrics
 module Chrome = Ordo_trace.Chrome
 module Checker = Ordo_trace.Checker
+module Race = Ordo_analyze.Race
 module Workloads = Ordo_workloads.Workloads
 
 (* Workload bodies and boundary measurement live in {!Workloads},
@@ -48,7 +49,7 @@ let run_workload name machine ts ~threads ~dur =
 
 (* ---- driver ---- *)
 
-let run machine_name workload source threads dur capacity out skew no_check =
+let run machine_name workload source threads dur capacity out skew no_check analyze strict =
   (* Own simulator instance: boundary measurement and traced workload run
      on one continuous per-instance timeline. *)
   Sim.with_fresh_instance @@ fun () ->
@@ -79,20 +80,38 @@ let run machine_name workload source threads dur capacity out skew no_check =
         exit 2
     in
     Trace.start ~capacity ~threads:total ();
+    if analyze then Race.start ~boundary:check_boundary ~threads:total ();
     run_workload workload machine ts ~threads ~dur;
+    let verdict = if analyze then Some (Race.stop ()) else None in
     let t = Trace.stop () in
     Report.kv "events collected" (string_of_int (Array.length t.Trace.events));
+    (* Strict mode: a wrapped ring means the offline checker would judge a
+       truncated stream — refuse to compute verdicts on it. *)
+    if strict && t.Trace.dropped > 0 then begin
+      Printf.eprintf
+        "--strict: %d events dropped to ring wrap-around (capacity %d); rerun with a larger \
+         --capacity\n"
+        t.Trace.dropped capacity;
+      exit 1
+    end;
     Metrics.print ~label:workload t;
     (match out with
     | None -> ()
     | Some path ->
       Chrome.write_file t path;
       Report.kv "chrome trace written" path);
-    if no_check then 0
+    let race_bad =
+      match verdict with
+      | None -> false
+      | Some r ->
+        List.iter print_endline (Race.describe r);
+        not (Race.ok r)
+    in
+    if no_check then if race_bad then 1 else 0
     else begin
       let report = Checker.check ~boundary:check_boundary t in
       List.iter print_endline (Checker.describe report);
-      if Checker.ok report then 0 else 1
+      if Checker.ok report && not race_bad then 0 else 1
     end
 
 let machine_arg =
@@ -100,7 +119,11 @@ let machine_arg =
   Arg.(value & opt string "xeon" & info [ "machine"; "m" ] ~docv:"NAME" ~doc)
 
 let workload_arg =
-  let doc = "Workload to trace: occ, hekaton, tl2, rlu or oplog." in
+  let doc =
+    "Workload to trace: occ, hekaton, tl2, rlu, oplog — or a seeded-defect fixture for \
+     --analyze: race (unsynchronized writers), window (ordering assumed inside \
+     ORDO_BOUNDARY), handshake (the same handoff done right; stays silent)."
+  in
   Arg.(value & opt string "occ" & info [ "workload"; "w" ] ~docv:"NAME" ~doc)
 
 let source_arg =
@@ -134,11 +157,27 @@ let no_check_arg =
   let doc = "Skip the offline ordering-invariant checker." in
   Arg.(value & flag & info [ "no-check" ] ~doc)
 
+let analyze_arg =
+  let doc =
+    "Run the dynamic race detector alongside the trace: vector-clock happens-before over \
+     cell accesses, where timestamp edges are admitted only when cmp_time is certain.  \
+     Nonzero exit on any conflict (the seeded fixtures $(b,race) and $(b,window) must \
+     fire; correct workloads must stay silent)."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "Fail (exit 1) if the event rings dropped anything, so no verdict is ever computed on \
+     a truncated stream."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let cmd =
   let doc = "Trace a simulated Ordo workload, export it, and check ordering invariants" in
   Cmd.v (Cmd.info "ordo-trace" ~doc)
     Term.(
       const run $ machine_arg $ workload_arg $ source_arg $ threads_arg $ dur_arg
-      $ capacity_arg $ out_arg $ skew_arg $ no_check_arg)
+      $ capacity_arg $ out_arg $ skew_arg $ no_check_arg $ analyze_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

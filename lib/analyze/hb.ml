@@ -1,0 +1,22 @@
+(* The uncertainty-window comparison, shared by everything that reasons
+   about Ordo timestamps: the primitive itself ([Ordo.Make], [Guard.Make],
+   [Pairwise]), the offline trace checker, and the dynamic race detector.
+   One definition, so "certainly after" can never silently diverge between
+   the code that issues stamps and the code that audits them. *)
+
+(* Saturating add: comparisons against a [max_int] sentinel (used by
+   clients for "no timestamp yet / infinity") must not overflow. *)
+let add_sat a b = if a > max_int - b then max_int else a + b
+
+(* The paper's three-way answer: 1 when [t1] is certainly after [t2]
+   (beyond the uncertainty window), -1 when certainly before, 0 when the
+   ordering is *unknown* — never "equal". *)
+let cmp ~boundary t1 t2 =
+  if t1 > add_sat t2 boundary then 1 else if add_sat t1 boundary < t2 then -1 else 0
+
+let certainly_after ~boundary t1 t2 = t1 > add_sat t2 boundary
+
+(* [inverts ~earlier ~later]: the value read first is certainly after the
+   value read second — the physical-order inversion the offline checker
+   hunts for. *)
+let inverts ~boundary ~earlier ~later = earlier > add_sat later boundary

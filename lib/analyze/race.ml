@@ -1,0 +1,366 @@
+(* FastTrack-style dynamic race detection over simulated cell accesses,
+   with the paper's uncertainty window as a first-class edge type.
+
+   Shadow state, fed by hooks in the simulator engine and in the Ordo
+   primitive (all gated on a single flag read, so a disabled detector
+   costs one load per operation and perturbs nothing):
+
+   - per-thread vector clock [C_t] (own component = the thread's epoch
+     counter, bumped after every tracked write so write epochs are
+     unique);
+   - per-line last-write epoch [(w_tid, w_clk)] plus a release clock
+     [L_x]: every write and RMW releases the writer's knowledge into
+     [L_x], every read and RMW acquires it.  Treating plain writes as
+     releases models what the coherence protocol really orders (a
+     spin-read handoff is a legitimate edge in the simulator) and keeps
+     the detector conservative: only *blind* cross-thread writes — a
+     write to a line whose last writer's epoch the writer has never
+     learned through any cell or timestamp edge — are conflicts;
+   - a publication table: every stamp issued through [Ordo.S.get_time]
+     (or the guard) maps its value to the join of its publishers' clocks
+     at issue time.
+
+   Timestamp edges are admitted only when [cmp_time] returns nonzero:
+   if [cmp t1 t2 = 1] the caller joins the publication clock of [t2]
+   (physically: *any* stamp valued t2, on any core, was issued before
+   the read that produced t1 — that is exactly Ordo's guarantee).  A
+   comparison that returns 0 admits nothing and marks the thread as
+   acting inside the uncertainty window; a conflict detected while the
+   mark is set is classified as an uncertain-ordering violation rather
+   than a plain data race.
+
+   Only write-write conflicts are checked.  Read-write checks would
+   flag the optimistic reads OCC/TL2/Hekaton take by design (read,
+   validate, retry) — those algorithms *detect* the race themselves,
+   which is not a bug.  A blind cross-thread write, by contrast, is
+   never part of a validated optimistic protocol. *)
+
+(* Probe tag the boundary guard emits on every confirmed detection
+   (string-equal to [Ordo_trace.Trace.tag_guard_violation]; the trace
+   library depends on this one, so the constant lives here as a
+   literal). *)
+let tag_guard_violation = "guard.violation"
+
+type conflict = {
+  line : int;  (* cache-line id of the contested cell *)
+  first_tid : int;  (* the earlier write: core, virtual time, spans *)
+  first_time : int;
+  first_spans : string list;
+  second_tid : int;  (* the write that raced with it *)
+  second_time : int;
+  second_spans : string list;
+  uncertain : bool;
+      (* either side acted on a [cmp_time] that returned 0: an ordering
+         assumed inside the uncertainty window, not just a missing edge *)
+}
+
+type report = {
+  boundary : int;
+  threads : int;  (* threads that performed at least one tracked access *)
+  accesses : int;  (* tracked cell accesses (reads + writes + RMWs) *)
+  syncs : int;  (* release-acquire pairs through RMW operations *)
+  published : int;  (* timestamps published through get_time/new_time *)
+  ts_edges : int;  (* ordering edges admitted (cmp_time <> 0 with a known stamp) *)
+  ts_uncertain : int;  (* cmp_time calls that answered 0 *)
+  guard_violations : int;  (* guard detections observed during the run *)
+  conflicts : conflict list;  (* first per (line, pair), detection order *)
+  total_conflicts : int;  (* every racy write, including deduplicated ones *)
+  dropped_publishes : int;  (* stamps not recorded once the table filled *)
+}
+
+let races (r : report) =
+  List.length (List.filter (fun c -> not c.uncertain) r.conflicts)
+
+let uncertain (r : report) = List.length (List.filter (fun c -> c.uncertain) r.conflicts)
+let ok (r : report) = r.total_conflicts = 0
+
+(* ---- shadow state ---- *)
+
+type tstate = {
+  t_tid : int;
+  vc : Vclock.t;
+  mutable spans : string list;
+  mutable last_uncertain : bool;
+  mutable touched : bool;
+}
+
+type lstate = {
+  mutable w_tid : int;  (* -1 = no tracked write yet *)
+  mutable w_clk : int;
+  mutable w_time : int;
+  mutable w_spans : string list;
+  mutable w_uncertain : bool;
+  rel : Vclock.t;
+}
+
+let max_published = 1 lsl 16
+let max_conflict_detail = 64
+
+type sink = {
+  s_boundary : int;
+  mutable threads : tstate option array;  (* indexed by tid, grown on demand *)
+  lines : (int, lstate) Hashtbl.t;
+  pubs : (int, Vclock.t) Hashtbl.t;  (* stamp value -> join of publisher clocks *)
+  dedup : (int * int * int, unit) Hashtbl.t;  (* line, first_tid, second_tid *)
+  mutable conflicts : conflict list;  (* newest first *)
+  mutable total_conflicts : int;
+  mutable accesses : int;
+  mutable syncs : int;
+  mutable published : int;
+  mutable ts_edges : int;
+  mutable ts_uncertain : int;
+  mutable guard_violations : int;
+  mutable dropped_publishes : int;
+}
+
+(* Domain-local, exactly like the trace sink: concurrent simulations on
+   pool domains analyze independently and never see each other's cells. *)
+type state = { mutable sink : sink option }
+
+let state_key : state Domain.DLS.key = Domain.DLS.new_key (fun () -> { sink = None })
+let current () = (Domain.DLS.get state_key).sink
+let enabled () = Option.is_some (current ())
+
+let start ?(boundary = 0) ?(threads = 64) () =
+  if enabled () then invalid_arg "Race.start: already analyzing";
+  (Domain.DLS.get state_key).sink <-
+    Some
+      {
+        s_boundary = boundary;
+        threads = Array.make (max 1 threads) None;
+        lines = Hashtbl.create 256;
+        pubs = Hashtbl.create 1024;
+        dedup = Hashtbl.create 16;
+        conflicts = [];
+        total_conflicts = 0;
+        accesses = 0;
+        syncs = 0;
+        published = 0;
+        ts_edges = 0;
+        ts_uncertain = 0;
+        guard_violations = 0;
+        dropped_publishes = 0;
+      }
+
+let thread_of s tid =
+  let n = Array.length s.threads in
+  if tid >= n then begin
+    let bigger = Array.make (max (tid + 1) (2 * n)) None in
+    Array.blit s.threads 0 bigger 0 n;
+    s.threads <- bigger
+  end;
+  match s.threads.(tid) with
+  | Some t -> t
+  | None ->
+    let t =
+      {
+        t_tid = tid;
+        vc = Vclock.create ();
+        spans = [];
+        last_uncertain = false;
+        touched = false;
+      }
+    in
+    (* Own component starts at 1: epoch 1 of a thread nobody has synced
+       with must not look covered by a fresh (all-zero) clock. *)
+    Vclock.set t.vc tid 1;
+    s.threads.(tid) <- Some t;
+    t
+
+let line_of s line =
+  match Hashtbl.find_opt s.lines line with
+  | Some l -> l
+  | None ->
+    let l =
+      {
+        w_tid = -1;
+        w_clk = 0;
+        w_time = 0;
+        w_spans = [];
+        w_uncertain = false;
+        rel = Vclock.create ();
+      }
+    in
+    Hashtbl.add s.lines line l;
+    l
+
+(* ---- hooks ---- *)
+
+let check_write s th (ls : lstate) ~line ~time =
+  if ls.w_tid >= 0 && ls.w_tid <> th.t_tid && ls.w_clk > Vclock.get th.vc ls.w_tid
+  then begin
+    s.total_conflicts <- s.total_conflicts + 1;
+    let key = (line, ls.w_tid, th.t_tid) in
+    if not (Hashtbl.mem s.dedup key) && List.length s.conflicts < max_conflict_detail
+    then begin
+      Hashtbl.add s.dedup key ();
+      s.conflicts <-
+        {
+          line;
+          first_tid = ls.w_tid;
+          first_time = ls.w_time;
+          first_spans = ls.w_spans;
+          second_tid = th.t_tid;
+          second_time = time;
+          second_spans = th.spans;
+          uncertain = th.last_uncertain || ls.w_uncertain;
+        }
+        :: s.conflicts
+    end
+  end
+
+let record_write th (ls : lstate) ~time =
+  ls.w_tid <- th.t_tid;
+  ls.w_clk <- Vclock.get th.vc th.t_tid;
+  ls.w_time <- time;
+  ls.w_spans <- th.spans;
+  ls.w_uncertain <- th.last_uncertain;
+  Vclock.join ls.rel th.vc;
+  Vclock.incr th.vc th.t_tid
+
+let on_read ~tid ~line ~time:_ =
+  match current () with
+  | None -> ()
+  | Some s ->
+    s.accesses <- s.accesses + 1;
+    let th = thread_of s tid in
+    th.touched <- true;
+    (match Hashtbl.find_opt s.lines line with
+    | Some ls -> Vclock.join th.vc ls.rel
+    | None -> ())
+
+let on_write ~tid ~line ~time =
+  match current () with
+  | None -> ()
+  | Some s ->
+    s.accesses <- s.accesses + 1;
+    let th = thread_of s tid in
+    th.touched <- true;
+    let ls = line_of s line in
+    check_write s th ls ~line ~time;
+    record_write th ls ~time
+
+let on_rmw ~tid ~line ~time =
+  match current () with
+  | None -> ()
+  | Some s ->
+    s.accesses <- s.accesses + 1;
+    s.syncs <- s.syncs + 1;
+    let th = thread_of s tid in
+    th.touched <- true;
+    let ls = line_of s line in
+    (* Acquire before the conflict check: an RMW that takes a lock the
+       last writer released through this very line is ordered. *)
+    Vclock.join th.vc ls.rel;
+    check_write s th ls ~line ~time;
+    record_write th ls ~time
+
+let on_span_begin ~tid tag =
+  match current () with
+  | None -> ()
+  | Some s ->
+    let th = thread_of s tid in
+    th.spans <- tag :: th.spans
+
+let on_span_end ~tid tag =
+  match current () with
+  | None -> ()
+  | Some s ->
+    let th = thread_of s tid in
+    (match th.spans with hd :: tl when hd = tag -> th.spans <- tl | _ -> ())
+
+let on_probe ~tid:_ tag _a _b =
+  match current () with
+  | None -> ()
+  | Some s -> if tag = tag_guard_violation then s.guard_violations <- s.guard_violations + 1
+
+let on_publish ~tid value =
+  match current () with
+  | None -> ()
+  | Some s ->
+    s.published <- s.published + 1;
+    let th = thread_of s tid in
+    (match Hashtbl.find_opt s.pubs value with
+    | Some vc -> Vclock.join vc th.vc
+    | None ->
+      if Hashtbl.length s.pubs >= max_published then
+        s.dropped_publishes <- s.dropped_publishes + 1
+      else Hashtbl.add s.pubs value (Vclock.copy th.vc))
+
+(* [on_order ~tid t1 t2 verdict]: the thread just learned [cmp_time t1
+   t2 = verdict].  Nonzero: the ordering is real, so join the
+   publication clock of the *earlier* stamp — everything its issuer knew
+   at issue time happened before this point.  Zero: no edge; mark the
+   thread as inside the window until its next certain answer. *)
+let on_order ~tid t1 t2 verdict =
+  match current () with
+  | None -> ()
+  | Some s ->
+    let th = thread_of s tid in
+    if verdict = 0 then begin
+      s.ts_uncertain <- s.ts_uncertain + 1;
+      th.last_uncertain <- true
+    end
+    else begin
+      th.last_uncertain <- false;
+      let earlier = if verdict > 0 then t2 else t1 in
+      match Hashtbl.find_opt s.pubs earlier with
+      | Some vc ->
+        s.ts_edges <- s.ts_edges + 1;
+        Vclock.join th.vc vc
+      | None -> ()
+    end
+
+let stop () =
+  match current () with
+  | None -> invalid_arg "Race.stop: not analyzing"
+  | Some s ->
+    (Domain.DLS.get state_key).sink <- None;
+    let threads =
+      Array.fold_left
+        (fun n t -> match t with Some t when t.touched -> n + 1 | _ -> n)
+        0 s.threads
+    in
+    {
+      boundary = s.s_boundary;
+      threads;
+      accesses = s.accesses;
+      syncs = s.syncs;
+      published = s.published;
+      ts_edges = s.ts_edges;
+      ts_uncertain = s.ts_uncertain;
+      guard_violations = s.guard_violations;
+      conflicts = List.rev s.conflicts;
+      total_conflicts = s.total_conflicts;
+      dropped_publishes = s.dropped_publishes;
+    }
+
+(* ---- reporting ---- *)
+
+let spans_label = function
+  | [] -> "-"
+  | spans -> String.concat ">" (List.rev spans)
+
+let describe_conflict c =
+  Printf.sprintf
+    "%s: core %d wrote line#%d at vt=%d [%s], core %d wrote it at vt=%d [%s] with no \
+     happens-before edge%s"
+    (if c.uncertain then "uncertain ordering" else "data race")
+    c.first_tid c.line c.first_time (spans_label c.first_spans) c.second_tid c.second_time
+    (spans_label c.second_spans)
+    (if c.uncertain then " — an ordering was assumed inside the ORDO_BOUNDARY window" else "")
+
+let describe (r : report) =
+  Printf.sprintf
+    "analyzed %d accesses by %d threads (%d RMW syncs, %d stamps published, %d timestamp \
+     edges, %d uncertain comparisons, %d guard violations) against boundary %d ns: %s%s"
+    r.accesses r.threads r.syncs r.published r.ts_edges r.ts_uncertain r.guard_violations
+    r.boundary
+    (if ok r then "OK"
+     else
+       Printf.sprintf "%d CONFLICTS (%d distinct: %d races, %d uncertain orderings)"
+         r.total_conflicts (List.length r.conflicts) (races r) (uncertain r))
+    (if r.dropped_publishes > 0 then
+       Printf.sprintf " [publication table full: %d stamps untracked]" r.dropped_publishes
+     else "")
+  :: List.map describe_conflict r.conflicts

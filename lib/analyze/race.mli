@@ -1,0 +1,90 @@
+(** Uncertainty-aware dynamic race detection for simulated runs.
+
+    A domain-local shadow state — per-thread vector clocks, per-line
+    last-write epochs and release clocks, and a stamp-publication table
+    — is fed by hooks in the simulator engine (cell accesses, spans,
+    probes) and in the Ordo primitive (stamp publication, [cmp_time]
+    verdicts).  Everything is gated on {!enabled}, a single domain-local
+    read the engine samples once per run, so a disabled detector is free
+    and an enabled one is purely observational: it never charges virtual
+    time or consumes simulation randomness.
+
+    Synchronization edges come from RMW release–acquire pairs (and,
+    conservatively, from plain write→read handoffs — what the simulated
+    coherence protocol really orders).  Timestamp edges are admitted
+    {e only} when [cmp_time] returns nonzero; a 0 answer admits nothing
+    and marks the thread as acting inside the ORDO_BOUNDARY window, so a
+    conflicting write that follows is reported as an uncertain-ordering
+    violation rather than a plain race.  Only write-write conflicts are
+    checked: optimistic readers (OCC/TL2/Hekaton) race by design and
+    validate afterwards. *)
+
+type conflict = {
+  line : int;
+  first_tid : int;
+  first_time : int;
+  first_spans : string list;
+  second_tid : int;
+  second_time : int;
+  second_spans : string list;
+  uncertain : bool;
+}
+
+type report = {
+  boundary : int;
+  threads : int;
+  accesses : int;
+  syncs : int;
+  published : int;
+  ts_edges : int;
+  ts_uncertain : int;
+  guard_violations : int;
+  conflicts : conflict list;  (** first per (line, writer pair), detection order *)
+  total_conflicts : int;  (** every racy write, including deduplicated ones *)
+  dropped_publishes : int;
+}
+
+val ok : report -> bool
+(** No conflicts at all. *)
+
+val races : report -> int
+(** Distinct conflicts classified as plain data races. *)
+
+val uncertain : report -> int
+(** Distinct conflicts classified as uncertain-ordering violations. *)
+
+val enabled : unit -> bool
+(** One domain-local read; producers must check it before computing
+    anything for a hook call. *)
+
+val start : ?boundary:int -> ?threads:int -> unit -> unit
+(** Install the detector for the current domain.  [boundary] is recorded
+    in the report; [threads] pre-sizes the per-thread table.  Raises
+    [Invalid_argument] if already analyzing.  Install it around exactly
+    one simulated run: shadow clocks are keyed by thread id and would
+    carry stale edges across runs. *)
+
+val stop : unit -> report
+(** Uninstall and return the verdict.  Raises if not analyzing. *)
+
+(** {1 Hooks} — no-ops when the detector is not installed. *)
+
+val on_read : tid:int -> line:int -> time:int -> unit
+val on_write : tid:int -> line:int -> time:int -> unit
+val on_rmw : tid:int -> line:int -> time:int -> unit
+val on_span_begin : tid:int -> string -> unit
+val on_span_end : tid:int -> string -> unit
+
+val on_probe : tid:int -> string -> int -> int -> unit
+(** Guard detections ([guard.violation] probes) are counted as observed
+    boundary violations. *)
+
+val on_publish : tid:int -> int -> unit
+(** A stamp with this value was just issued by [tid]. *)
+
+val on_order : tid:int -> int -> int -> int -> unit
+(** [on_order ~tid t1 t2 verdict]: [cmp_time t1 t2] just answered
+    [verdict] for [tid]. *)
+
+val describe : report -> string list
+val describe_conflict : conflict -> string

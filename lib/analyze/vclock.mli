@@ -1,0 +1,25 @@
+(** Growable vector clocks for the shadow happens-before state.
+
+    Components are indexed by simulated thread id, default to 0, and the
+    backing store grows on demand.  [join]/[leq] implement the usual
+    lattice: join is componentwise max, [leq] the pointwise order. *)
+
+type t
+
+val create : ?hint:int -> unit -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val incr : t -> int -> unit
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the componentwise max of the two. *)
+
+val leq : t -> t -> bool
+val equal : t -> t -> bool
+val copy : t -> t
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Abstract value with trailing zeros trimmed. *)
+
+val pp : t -> string

@@ -51,6 +51,7 @@
    Hekaton, TL2, Oplog) runs unmodified on top of it. *)
 
 module T = Ordo_trace.Trace
+module Race = Ordo_analyze.Race
 
 type policy =
   | Inflate
@@ -102,7 +103,7 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (C : CONFIG) : S = struct
 
   let thr_floor = max 8 (boundary / max 1 C.watchdog_divisor)
   let thr_cap = max thr_floor (boundary / 4)
-  let add_sat a b = if a > max_int - b then max_int else a + b
+  let add_sat = Ordo_analyze.Hb.add_sat
 
   (* shared state, one line each *)
   let bound = R.cell boundary  (* current bound; only ever grows *)
@@ -260,11 +261,19 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (C : CONFIG) : S = struct
       raw
     end
 
-  let get_time () = if R.read mode <> 0 then fallback_time () else ordo_time ()
+  (* Race-detector hooks mirror [Ordo.Make]: stamps are published, and
+     comparison verdicts (against the *current* bound) admit or withhold
+     happens-before edges.  Guard detections reach the detector on their
+     own through the [guard.violation] probes above. *)
+  let get_time () =
+    let v = if R.read mode <> 0 then fallback_time () else ordo_time () in
+    if Race.enabled () then Race.on_publish ~tid:(R.tid ()) v;
+    v
 
   let cmp_time t1 t2 =
-    let b = R.read bound in
-    if t1 > add_sat t2 b then 1 else if add_sat t1 b < t2 then -1 else 0
+    let c = Ordo_analyze.Hb.cmp ~boundary:(R.read bound) t1 t2 in
+    if Race.enabled () then Race.on_order ~tid:(R.tid ()) t1 t2 c;
+    c
 
   let new_time t =
     let rec wait () =

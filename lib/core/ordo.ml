@@ -5,6 +5,8 @@ module type S = sig
   val new_time : int -> int
 end
 
+module Race = Ordo_analyze.Race
+
 module Make
     (R : Ordo_runtime.Runtime_intf.S)
     (Config : sig
@@ -15,16 +17,24 @@ struct
     if Config.boundary < 0 then invalid_arg "Ordo.Make: negative boundary";
     Config.boundary
 
-  let get_time () = R.get_time ()
+  (* The race detector's hooks: every issued stamp is published (its
+     value maps to the issuer's shadow clock), every comparison verdict
+     is reported — a nonzero answer admits a happens-before edge, a zero
+     answer marks the caller as inside the uncertainty window.  Both are
+     gated on one domain-local read and perturb nothing. *)
+  let get_time () =
+    let t = R.get_time () in
+    if Race.enabled () then Race.on_publish ~tid:(R.tid ()) t;
+    t
 
-  (* Saturating add: comparisons against a [max_int] sentinel (used by
-     clients for "no timestamp yet / infinity") must not overflow. *)
-  let add_sat a b = if a > max_int - b then max_int else a + b
-  let cmp_time t1 t2 = if t1 > add_sat t2 boundary then 1 else if add_sat t1 boundary < t2 then -1 else 0
+  let cmp_time t1 t2 =
+    let c = Ordo_analyze.Hb.cmp ~boundary t1 t2 in
+    if Race.enabled () then Race.on_order ~tid:(R.tid ()) t1 t2 c;
+    c
 
   let new_time t =
     let rec wait () =
-      let now = R.get_time () in
+      let now = get_time () in
       if cmp_time now t = 1 then now
       else begin
         R.pause ();

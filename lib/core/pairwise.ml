@@ -21,11 +21,7 @@ struct
   let boundary c1 c2 = table.(c1).(c2)
   let global_boundary = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 table
   let get_time () = R.get_time ()
-  let add_sat a b = if a > max_int - b then max_int else a + b
-
-  let cmp_time ~c1 t1 ~c2 t2 =
-    let b = boundary c1 c2 in
-    if t1 > add_sat t2 b then 1 else if add_sat t1 b < t2 then -1 else 0
+  let cmp_time ~c1 t1 ~c2 t2 = Ordo_analyze.Hb.cmp ~boundary:(boundary c1 c2) t1 t2
 
   let new_time ~c_from t =
     let me = R.tid () in

@@ -5,6 +5,10 @@
     validation work (read-timestamp extensions), which is the 7%
     validation overhead the paper measures against OCC_ORDO in TPC-C. *)
 
+(* TicToc's wts/rts are data-driven logical stamps, never read from a
+   physical clock: raw integer ordering on them is the algorithm. *)
+[@@@ordo_lint.allow "poly-compare"]
+
 module Make (R : Ordo_runtime.Runtime_intf.S) : Cc_intf.S = struct
   let name = "tictoc"
 

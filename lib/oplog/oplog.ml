@@ -1,3 +1,8 @@
+(* The merge order is raw (ts, core) lexicographic by design: ties
+   inside the uncertainty window resolve by core id, as in the original
+   OpLog — see [entry_order]. *)
+[@@@ordo_lint.allow "poly-compare"]
+
 module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
   module Lock = Ordo_runtime.Mcs.Make (R)
 
@@ -17,12 +22,20 @@ module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = stru
       lock = Lock.create ();
     }
 
+  (* Push must be atomic against [synchronize]'s drain: a plain
+     read-then-write could resurrect entries a concurrent merge already
+     exchanged away (and the race detector flags exactly that).  The CAS
+     compares the list head physically, so an interleaved drain forces a
+     retry. *)
+  let rec push log entry =
+    let old = R.read log in
+    if not (R.cas log old (entry :: old)) then push log entry
+
   let append t op =
     let core = R.tid () in
     let ts = T.after t.last_ts.(core) in
     t.last_ts.(core) <- ts;
-    let log = t.logs.(core) in
-    R.write log ({ ts; core; op } :: R.read log);
+    push t.logs.(core) { ts; core; op };
     R.probe "oplog.append" ts core
 
   (* Ascending (ts, core): ties inside the uncertainty window resolve by

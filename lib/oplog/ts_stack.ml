@@ -1,3 +1,8 @@
+(* Ties inside the uncertainty window resolve by core id — the
+   documented total order of the timestamped stack, so the raw (ts,
+   core) lexicographic comparison is intentional. *)
+[@@@ordo_lint.allow "poly-compare"]
+
 module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
   type 'a node = { value : 'a; ts : int; core : int; taken : bool R.cell }
 

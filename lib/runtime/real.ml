@@ -1,5 +1,8 @@
 (* The live substrate: OCaml 5 domains + Atomic cells + the host clock. *)
 
+(* The one sanctioned bridge from the host clock to Runtime_intf. *)
+[@@@ordo_lint.allow "raw-clock-read"]
+
 let tid_key = Domain.DLS.new_key (fun () -> 0)
 
 module Runtime : Runtime_intf.S = struct

@@ -1,6 +1,7 @@
 module Rng = Ordo_util.Rng
 module Topology = Ordo_util.Topology
 module Trace = Ordo_trace.Trace
+module Race = Ordo_analyze.Race
 
 (* Simulated clocks are offset by this epoch so that skewed clocks are
    always positive and a zero timestamp can mean "unset". *)
@@ -42,6 +43,7 @@ type t = {
   base : int;  (* timeline value at which this run started *)
   epoch : int;  (* globally unique id of this run, for lazy line reset *)
   trace : bool;  (* sampled once at run start: is a sink installed? *)
+  analyze : bool;  (* sampled once at run start: is the race detector installed? *)
   hazard : Hazard.t option;  (* compiled clock-fault scenario, if any *)
   mutable cur : thread;
   mutable threads : thread list;  (* every thread of the run, for the final clock fold *)
@@ -334,6 +336,7 @@ let read c =
         th.time + eng.machine.Machine.l1_ns
       else read_miss eng th line
     in
+    if eng.analyze then Race.on_read ~tid:th.id ~line:line.lid ~time:completion;
     finish eng th c.v completion
 
 let write c x =
@@ -346,6 +349,7 @@ let write c x =
       exclusive_completion eng th c.line ~exec_ns:eng.machine.Machine.store_ns
     in
     c.v <- x;
+    if eng.analyze then Race.on_write ~tid:th.id ~line:c.line.lid ~time:completion;
     finish eng th () completion
 
 let cas c expected desired =
@@ -362,6 +366,13 @@ let cas c expected desired =
     in
     let ok = c.v == expected in
     if ok then c.v <- desired;
+    (* A failed CAS stores nothing: for the race detector it is an
+       acquire load (as in C++/LLVM), not a write — otherwise the lock
+       winner's subsequent plain store would appear to race with the
+       loser's failed attempt. *)
+    if eng.analyze then
+      if ok then Race.on_rmw ~tid:th.id ~line:c.line.lid ~time:completion
+      else Race.on_read ~tid:th.id ~line:c.line.lid ~time:completion;
     finish eng th ok completion
 
 let fetch_add c n =
@@ -378,6 +389,7 @@ let fetch_add c n =
     in
     let old = c.v in
     c.v <- old + n;
+    if eng.analyze then Race.on_rmw ~tid:th.id ~line:c.line.lid ~time:completion;
     finish eng th old completion
 
 let exchange c x =
@@ -394,6 +406,7 @@ let exchange c x =
     in
     let old = c.v in
     c.v <- x;
+    if eng.analyze then Race.on_rmw ~tid:th.id ~line:c.line.lid ~time:completion;
     finish eng th old completion
 
 let get_time () =
@@ -460,7 +473,8 @@ let span_begin tag =
   | Some eng ->
     if eng.trace then
       Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_begin ~a:(Trace.intern tag)
-        ~b:0 ~c:0
+        ~b:0 ~c:0;
+    if eng.analyze then Race.on_span_begin ~tid:eng.cur.id tag
 
 let span_end tag =
   match (instance ()).running with
@@ -468,14 +482,16 @@ let span_end tag =
   | Some eng ->
     if eng.trace then
       Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Span_end ~a:(Trace.intern tag) ~b:0
-        ~c:0
+        ~c:0;
+    if eng.analyze then Race.on_span_end ~tid:eng.cur.id tag
 
 let probe tag a b =
   match (instance ()).running with
   | None -> ()
   | Some eng ->
     if eng.trace then
-      Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b
+      Trace.emit ~tid:eng.cur.id ~time:eng.cur.time Trace.Probe ~a:(Trace.intern tag) ~b:a ~c:b;
+    if eng.analyze then Race.on_probe ~tid:eng.cur.id tag a b
 
 (* ---- scheduler ---- *)
 
@@ -531,6 +547,7 @@ let run ?scenario machine jobs =
       base;
       epoch = Atomic.fetch_and_add epoch_counter 1;
       trace = Trace.enabled ();
+      analyze = Race.enabled ();
       hazard;
       cur = dummy;
       threads = [];

@@ -56,7 +56,11 @@ type report = {
 }
 
 let ok r = r.violations = []
-let add_sat a b = if a > max_int - b then max_int else a + b
+
+(* Uncertainty-window arithmetic is shared with the primitive and the
+   dynamic race detector ([Ordo_analyze.Hb]) — the checker must judge
+   inversions with exactly the comparison the stamps were issued under. *)
+module Hb = Ordo_analyze.Hb
 
 (* ---- invariant 1: physical order vs cmp_time ---- *)
 
@@ -82,7 +86,7 @@ let check_clock_reads ~boundary (events : Trace.event array) violations =
       incr admitted
     done;
     match !max_ev with
-    | Some a when !max_val > add_sat b.a boundary ->
+    | Some a when Hb.inverts ~boundary ~earlier:!max_val ~later:b.a ->
       violations := Clock_inversion { earlier = a; later = b; delta = !max_val - b.a } :: !violations
     | _ -> ()
   done;
@@ -99,7 +103,7 @@ let check_new_times ~boundary t (events : Trace.event array) violations =
       (fun (e : Trace.event) ->
         if e.kind = Trace.Probe && e.a = tag then begin
           incr n;
-          if e.c <= add_sat e.b boundary then
+          if not (Hb.certainly_after ~boundary e.c e.b) then
             violations := New_time_short { tid = e.tid; time = e.time; arg = e.b; result = e.c } :: !violations
         end)
       events;
@@ -240,7 +244,7 @@ let check_history ~bound_of txs violations =
   List.iter
     (fun (u, w, key) ->
       let b = bound_of txs.(u) txs.(w) in
-      if txs.(u).commit_ts > add_sat txs.(w).commit_ts b then
+      if Hb.inverts ~boundary:b ~earlier:txs.(u).commit_ts ~later:txs.(w).commit_ts then
         violations := Edge_inversion { key; from_tx = txs.(u); to_tx = txs.(w) } :: !violations)
     !edges;
   (* Acyclicity (DFS, first cycle reported). *)
@@ -366,7 +370,7 @@ let check_guard_stamps stamps violations =
       incr admitted
     done;
     match !max_ev with
-    | Some a when !max_val > add_sat b.b b.c ->
+    | Some a when Hb.inverts ~boundary:b.c ~earlier:!max_val ~later:b.b ->
       violations := Stamp_inversion { earlier = a; later = b; delta = !max_val - b.b } :: !violations
     | _ -> ()
   done;

@@ -28,7 +28,7 @@ let measure_boundary m =
 
 let db_rows = 48
 
-let db_workload (module C : Ordo_db.Cc_intf.S) ?scenario machine ~threads ~dur =
+let db_workload (module C : Ordo_db.Cc_intf.S) ~report ?scenario machine ~threads ~dur =
   let db = C.create ~threads ~rows:db_rows () in
   let module X = Ordo_db.Cc_intf.Execute (R) (C) in
   let stats =
@@ -41,11 +41,12 @@ let db_workload (module C : Ordo_db.Cc_intf.S) ?scenario machine ~threads ~dur =
               if Rng.int rng 100 < 60 then C.write tx k2 (v + 1))
         done)
   in
-  Report.kv "commits/aborts"
-    (Printf.sprintf "%d/%d" (C.stats_commits db) (C.stats_aborts db));
+  if report then
+    Report.kv "commits/aborts"
+      (Printf.sprintf "%d/%d" (C.stats_commits db) (C.stats_aborts db));
   stats
 
-let tl2_workload ?scenario machine ts ~threads ~dur =
+let tl2_workload ~report ?scenario machine ts ~threads ~dur =
   let module T = (val ts : Ordo_core.Timestamp.S) in
   let module Stm = Ordo_stm.Tl2.Make (R) (T) in
   let stm = Stm.create ~threads () in
@@ -60,11 +61,12 @@ let tl2_workload ?scenario machine ts ~threads ~dur =
               if Rng.int rng 100 < 60 then Stm.write tx tvars.(k2) (v + 1))
         done)
   in
-  Report.kv "commits/aborts"
-    (Printf.sprintf "%d/%d" (Stm.stats_commits stm) (Stm.stats_aborts stm));
+  if report then
+    Report.kv "commits/aborts"
+      (Printf.sprintf "%d/%d" (Stm.stats_commits stm) (Stm.stats_aborts stm));
   stats
 
-let rlu_workload ?scenario machine ts ~threads ~dur =
+let rlu_workload ~report ?scenario machine ts ~threads ~dur =
   let module T = (val ts : Ordo_core.Timestamp.S) in
   let module Rlu = Ordo_rlu.Rlu.Make (R) (T) in
   let rlu = Rlu.create ~threads () in
@@ -86,12 +88,13 @@ let rlu_workload ?scenario machine ts ~threads ~dur =
           end
         done)
   in
-  Report.kv "commits/aborts/syncs"
-    (Printf.sprintf "%d/%d/%d" (Rlu.stats_commits rlu) (Rlu.stats_aborts rlu)
-       (Rlu.stats_syncs rlu));
+  if report then
+    Report.kv "commits/aborts/syncs"
+      (Printf.sprintf "%d/%d/%d" (Rlu.stats_commits rlu) (Rlu.stats_aborts rlu)
+         (Rlu.stats_syncs rlu));
   stats
 
-let oplog_workload ?scenario machine ts ~threads ~dur =
+let oplog_workload ~report ?scenario machine ts ~threads ~dur =
   let module T = (val ts : Ordo_core.Timestamp.S) in
   let module Oplog = Ordo_oplog.Oplog.Make (R) (T) in
   let log = Oplog.create ~threads () in
@@ -106,20 +109,84 @@ let oplog_workload ?scenario machine ts ~threads ~dur =
             applied := !applied + Oplog.synchronize log ~apply:(fun _ -> ())
         done)
   in
-  Report.kv "merged entries" (string_of_int !applied);
+  if report then Report.kv "merged entries" (string_of_int !applied);
   stats
 
-let names = [ "occ"; "hekaton"; "tl2"; "rlu"; "oplog" ]
+(* ---- seeded-defect fixtures for the race detector ----
 
-let run name ?scenario machine ts ~threads ~dur : Engine.stats =
+   [race]: the textbook data race — every thread blind-writes one shared
+   cell with no synchronization of any kind.  The detector must report a
+   deterministic, nonzero number of write-write conflicts.
+
+   [window] / [handshake]: one producer→consumer handoff ordered *only*
+   by Ordo timestamps.  The producer writes the payload, stamps after
+   the write, and exposes the stamp through a plain OCaml ref — a side
+   channel the simulated coherence protocol never sees, so no cell edge
+   can order the two threads; the timestamp is the only candidate.  The
+   [handshake] consumer spins until its own stamp is *certainly* after
+   the seen one ([cmp = 1]) before touching the payload — the admitted
+   timestamp edge keeps the detector silent.  The [window] consumer
+   commits the paper's cardinal sin: it treats [cmp = 0] as ordered and
+   writes immediately, while the stamps are still inside ORDO_BOUNDARY —
+   reported as an uncertain-ordering violation. *)
+
+let race_workload ?scenario machine ~threads ~dur =
+  let hot = R.cell 0 in
+  let threads = max 2 threads in
+  Sim.run ?scenario machine ~threads (fun i ->
+      while R.now () < dur do
+        R.write hot (i + 1);
+        R.work 400
+      done)
+
+let window_workload ~certain ?scenario machine ts ~dur =
+  let module T = (val ts : Ordo_core.Timestamp.S) in
+  let payload = R.cell 0 in
+  let published = ref 0 in
+  Sim.run ?scenario machine ~threads:2 (fun i ->
+      if i = 0 then begin
+        R.write payload 1;
+        published := T.get ()
+      end
+      else begin
+        let rec poll () =
+          if R.now () < dur then begin
+            let seen = !published in
+            if seen = 0 then begin
+              R.pause ();
+              poll ()
+            end
+            else begin
+              let mine = T.get () in
+              let c = T.cmp mine seen in
+              if c = 1 || ((not certain) && c = 0) then R.write payload 2
+              else begin
+                R.pause ();
+                poll ()
+              end
+            end
+          end
+        in
+        poll ()
+      end)
+
+let names = [ "occ"; "hekaton"; "tl2"; "rlu"; "oplog"; "race"; "window"; "handshake" ]
+
+let run name ?(report = true) ?scenario machine ts ~threads ~dur : Engine.stats =
   let module T = (val ts : Ordo_core.Timestamp.S) in
   match name with
-  | "occ" -> db_workload (module Ordo_db.Occ.Make (R) (T)) ?scenario machine ~threads ~dur
+  | "occ" ->
+    db_workload (module Ordo_db.Occ.Make (R) (T)) ~report ?scenario machine ~threads ~dur
   | "hekaton" ->
-    db_workload (module Ordo_db.Hekaton.Make (R) (T)) ?scenario machine ~threads ~dur
-  | "tl2" -> tl2_workload ?scenario machine ts ~threads ~dur
-  | "rlu" -> rlu_workload ?scenario machine ts ~threads ~dur
-  | "oplog" -> oplog_workload ?scenario machine ts ~threads ~dur
+    db_workload
+      (module Ordo_db.Hekaton.Make (R) (T))
+      ~report ?scenario machine ~threads ~dur
+  | "tl2" -> tl2_workload ~report ?scenario machine ts ~threads ~dur
+  | "rlu" -> rlu_workload ~report ?scenario machine ts ~threads ~dur
+  | "oplog" -> oplog_workload ~report ?scenario machine ts ~threads ~dur
+  | "race" -> race_workload ?scenario machine ~threads ~dur
+  | "window" -> window_workload ~certain:false ?scenario machine ts ~dur
+  | "handshake" -> window_workload ~certain:true ?scenario machine ts ~dur
   | _ ->
     Printf.eprintf "unknown workload %S (available: %s)\n" name
       (String.concat " " names);

@@ -1,5 +1,7 @@
 (* Host hardware-clock stubs: monotonicity, calibration, affinity probes. *)
 
+[@@@ordo_lint.allow "raw-clock-read"]
+
 module Tsc = Ordo_clock.Tsc
 module Clock = Ordo_clock.Clock
 

@@ -16,4 +16,6 @@ let () =
       ("trace", Test_trace.suite);
       ("hazard", Test_hazard.suite);
       ("shapes", Test_shapes.suite);
+      ("analyze", Test_analyze.suite);
+      ("lint", Test_lint.suite);
     ]

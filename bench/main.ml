@@ -40,6 +40,9 @@ let experiments : (string * string * (full:bool -> unit)) list =
       "Correctness: race-detector verdicts over workloads and seeded fixtures",
       Report.analyze_report );
     ("hazard", "Extension: clock-fault dip and recovery under the guard", Experiments.ext_hazard);
+    ( "cluster",
+      "Cluster: sharded KV, central sequencer vs composed-Ordo timestamps",
+      Experiments.cluster );
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
   ]
 

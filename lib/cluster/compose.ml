@@ -1,0 +1,112 @@
+(* Composed cross-node Ordo boundary.
+
+   The paper measures the offset between two cores by shipping a clock
+   value through a shared cache line and keeping the minimum observed
+   [reader_clock - writer_value]: the one-way transfer delay makes every
+   observation an over-estimate of the true skew, so the minimum is a
+   sound per-direction bound.  The identical argument holds when the
+   "shared cache line" is a network link: each ping carries the sender's
+   reference clock, the receiver subtracts it from its own, and the
+   minimum over rounds is [true_offset + min_one_way_delay] — an
+   over-estimate of the link's clock offset.  Maximizing over both
+   directions of every pair gives the per-link bound.
+
+   Composition.  A cluster timestamp is a *core* clock reading inside
+   some node, so the skew between two arbitrary stamps decomposes as
+   (core-to-reference skew at node i) + (reference skew i→j) +
+   (reference-to-core skew at node j), bounded by [b_i + delta_ij + b_j]
+   with [b_n] the intra-node ORDO_BOUNDARY.  The cluster boundary is the
+   maximum of that bound over all links and of every node's own [b_n]
+   (for two stamps inside one node); with homogeneous nodes this is the
+   issue's [max(node boundaries, link offsets)] with the link term
+   conservatively inflated by the node terms.
+
+   [rtt2_boundary] is the deliberately unsound alternative: the NTP-style
+   RTT/2 estimate [(delta_ij + delta_ji) / 2] cancels the true offset
+   ([((o + d_ij) + (-o + d_ji)) / 2 = (d_ij + d_ji) / 2]), so on an
+   asymmetric link with real skew it under-covers — the negative fixture
+   the offline checker must flag. *)
+
+type ping = { origin : int; value : int }
+
+type t = {
+  nodes : int;
+  node_boundaries : int array;
+  delta : int array array;  (* directional measured offset bound, i→j *)
+  link : int array array;  (* per-pair bound: max of both directions *)
+  boundary : int;  (* sound composed ORDO_BOUNDARY_cluster *)
+  rtt2_boundary : int;  (* unsound NTP-style composition, for the fixture *)
+  pings : int;  (* messages spent measuring *)
+}
+
+let measure ?(rounds = 30) ?(node_runs = 12) ?cores (spec : Net.Spec.t) =
+  let n = spec.Net.Spec.nodes in
+  let net : ping Net.t = Net.create spec in
+  let delta = Array.make_matrix n n 0 in
+  Array.iter (fun row -> Array.fill row 0 n max_int) delta;
+  for i = 0 to n - 1 do
+    delta.(i).(i) <- 0
+  done;
+  Net.on_message net (fun _src dst p ->
+      let d = Net.clock net dst - p.value in
+      if d < delta.(p.origin).(dst) then delta.(p.origin).(dst) <- d);
+  (* Stagger rounds well past one flight time so FIFO queueing does not
+     pile deliveries up (it could only loosen, never unsound, but tight
+     bounds make better boundaries). *)
+  let l = spec.Net.Spec.link in
+  let gap = l.Net.Spec.base_ns + (6 * l.Net.Spec.jitter_ns) + l.Net.Spec.overhead_ns + 500 in
+  let gap =
+    List.fold_left
+      (fun g (_, (o : Net.Spec.link)) ->
+        max g (o.Net.Spec.base_ns + (6 * o.Net.Spec.jitter_ns) + o.Net.Spec.overhead_ns + 500))
+      gap spec.Net.Spec.overrides
+  in
+  for r = 0 to rounds - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          Net.at net ~node:i
+            ~delay:((r * gap) + ((((i * n) + j) mod 97) * 13))
+            (fun () -> Net.send net ~src:i ~dst:j { origin = i; value = Net.clock net i })
+      done
+    done
+  done;
+  Net.run net;
+  (* Homogeneous nodes: folding a uniform clock offset into every core's
+     RESET does not change intra-node pairwise skew, so one node's
+     measured boundary holds for all. *)
+  let b0 = Net.node_boundary ~runs:node_runs ?cores net 0 in
+  let node_boundaries = Array.make n b0 in
+  let link = Array.make_matrix n n 0 in
+  let boundary = ref b0 and rtt2 = ref b0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let m = max delta.(i).(j) delta.(j).(i) in
+      link.(i).(j) <- m;
+      link.(j).(i) <- m;
+      boundary := max !boundary (m + node_boundaries.(i) + node_boundaries.(j));
+      rtt2 :=
+        max !rtt2
+          (((delta.(i).(j) + delta.(j).(i)) / 2) + node_boundaries.(i) + node_boundaries.(j))
+    done
+  done;
+  {
+    nodes = n;
+    node_boundaries;
+    delta;
+    link;
+    boundary = !boundary;
+    rtt2_boundary = !rtt2;
+    pings = Net.delivered net;
+  }
+
+let source ~boundary () : (module Ordo_core.Timestamp.S) =
+  if boundary < 0 then invalid_arg "Compose.source: negative boundary";
+  let module O =
+    Ordo_core.Ordo.Make
+      (Ordo_sim.Sim.Runtime)
+      (struct
+        let boundary = boundary
+      end)
+  in
+  (module Ordo_core.Timestamp.Ordo_source (O))

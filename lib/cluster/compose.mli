@@ -1,0 +1,42 @@
+(** Composed cross-node Ordo boundary (the paper's measurement, run over
+    messages instead of cache lines).
+
+    Each directional link offset is bounded by the minimum over many
+    rounds of [receiver_clock - sent_clock_value] — sound because the
+    one-way flight time only ever over-estimates, exactly as the one-way
+    cache-line delay does intra-machine.  The cluster-wide boundary
+    composes per-link bounds with the intra-node boundaries:
+
+    {v
+    ORDO_BOUNDARY_cluster
+      = max( max_n b_n,
+             max_{i<j} (max(delta_ij, delta_ji) + b_i + b_j) )
+    v}
+
+    so that any two core-level timestamps taken anywhere in the cluster
+    order correctly when further apart than the boundary. *)
+
+type ping
+
+type t = {
+  nodes : int;
+  node_boundaries : int array;  (** intra-node ORDO_BOUNDARY per node *)
+  delta : int array array;  (** directional measured offset bound i→j *)
+  link : int array array;  (** symmetric per-pair bound, max of both directions *)
+  boundary : int;  (** sound composed cluster boundary *)
+  rtt2_boundary : int;
+      (** NTP-style composition with the link term replaced by RTT/2 —
+          {e unsound} on asymmetric links (the estimate cancels the true
+          offset), kept as the negative fixture the checker must flag. *)
+  pings : int;  (** messages spent on the measurement *)
+}
+
+val measure : ?rounds:int -> ?node_runs:int -> ?cores:int list -> Net.Spec.t -> t
+(** Measure a topology: [rounds] pings per directed link (default 30,
+    minimum taken), [node_runs]/[cores] forwarded to
+    {!Net.node_boundary}.  Deterministic: a pure function of the spec. *)
+
+val source : boundary:int -> unit -> (module Ordo_core.Timestamp.S)
+(** Package a composed boundary as a timestamp source over the simulator
+    runtime, so every existing substrate (OCC, Hekaton, TicToc, WAL, …)
+    runs unchanged on any node of the cluster ({!Net.run_node}). *)

@@ -1,0 +1,74 @@
+(** Sharded, Ordo-timestamped KV service over the cluster network model.
+
+    Keys are partitioned across shard nodes ([key mod shards]); a client
+    node drives an open-loop load (exponential arrivals, Zipf keys,
+    optional request batching).  Single-shard transactions commit locally
+    in one shard visit; cross-shard transfers run two-phase commit with a
+    commit timestamp above both shards' proposals and — under the Ordo
+    source — a Spanner-style commit wait over the composed boundary.
+    Reads are Tardis-style leases: served at [max(clock, wts)], renewing
+    the key's read lease instead of invalidating, so read-mostly keys
+    never bounce between nodes.
+
+    When an {!Ordo_trace.Trace} sink is installed, the service emits
+    (with [tid] = node id) [Clock_read] events for every protocol clock
+    read, the [tx.*] probe protocol for every committed transaction, and
+    [ordo.new_time] for every commit wait — so the stock offline
+    {!Ordo_trace.Checker} verifies cross-node commit ordering with no
+    cluster-specific code. *)
+
+type source =
+  | Logical  (** central sequencer node: one counter, one RPC per stamp *)
+  | Ordo  (** per-node clocks under the composed cluster boundary *)
+
+val source_name : source -> string
+
+type config = {
+  shards : int;  (** must equal the spec's node count *)
+  keys : int;
+  theta : float;  (** Zipf skew of the key popularity *)
+  arrival_ns : int;  (** mean inter-arrival of the whole client stream *)
+  batch : int;  (** transactions per client request message *)
+  read_pct : int;
+  cross_pct : int;  (** cross-shard transfers, % of all transactions *)
+  lease_ns : int;  (** read-lease extension granted per read *)
+  op_ns : int;  (** shard occupancy per transaction step *)
+  msg_ns : int;  (** shard occupancy per delivered message *)
+  seq_ns : int;  (** sequencer occupancy per stamp (logical source) *)
+  retry_ns : int;  (** backoff unit when a key is locked *)
+  max_retries : int;
+  dur_ns : int;  (** arrival window; the run then drains to completion *)
+  source : source;
+}
+
+val default : config
+
+type result = {
+  issued : int;
+  committed : int;
+  aborted : int;
+  cross_issued : int;
+  cross_committed : int;
+  throughput : float;  (** committed transactions per µs of run time *)
+  mean_ns : float;  (** client-observed commit latency *)
+  p50_ns : float;
+  p99_ns : float;
+  messages : int;  (** total messages delivered (batching reduces this) *)
+  renewals : int;  (** reads that extended a still-active lease *)
+  commit_waits : int;  (** cross-shard commits that waited out uncertainty *)
+  wait_ns : int;  (** total commit-wait time *)
+  end_ns : int;  (** cluster time at which the last transaction resolved *)
+  boundary : int;
+  sum_values : int;  (** final sum over all keys (conservation check) *)
+  locks_left : int;  (** keys still locked after the drain — must be 0 *)
+}
+
+val run : boundary:int -> Net.Spec.t -> config -> result
+(** [run ~boundary spec cfg] executes one deterministic service run.
+    [spec] describes the shard nodes (one per shard); a client and a
+    sequencer node are appended internally, for both sources, so the
+    topology of a logical-vs-ordo comparison is identical.  [boundary]
+    is the composed cluster boundary ({!Compose.measure}; pass the
+    unsound [rtt2_boundary] to reproduce the violation fixture, or [0]
+    with the logical source).  Raises [Invalid_argument] on a
+    shard/spec mismatch or degenerate parameters. *)

@@ -110,6 +110,12 @@ module Instance = struct
   let fresh f = scoped (create ()) f
   let events inst = inst.total_events
   let runs inst = inst.total_runs
+  let timeline inst = inst.timeline
+
+  let advance_to inst t =
+    if inst.running <> None then
+      invalid_arg "Engine.Instance.advance_to: inside a run";
+    if t > inst.timeline then inst.timeline <- t
 end
 
 let instance () = Domain.DLS.get instance_key

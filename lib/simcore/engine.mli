@@ -25,6 +25,12 @@
 
 type 'a cell
 
+val clock_epoch : int
+(** Fixed offset added to every simulated invariant-clock reading so that
+    timestamps are recognisably "clock-like" (never small counters).  The
+    cluster layer uses it to express node reference clocks on the same
+    scale as {!get_time}. *)
+
 (** Simulator instances: the handle API over the engine's per-domain
     state. *)
 module Instance : sig
@@ -48,6 +54,17 @@ module Instance : sig
 
   val runs : i -> int
   (** Number of completed runs of this instance. *)
+
+  val timeline : i -> int
+  (** Current position of the instance's continuous timeline (the virtual
+      time at which its next run will start). *)
+
+  val advance_to : i -> int -> unit
+  (** [advance_to inst t] moves the instance's timeline forward to [t] so
+      that its next run starts no earlier than virtual time [t].  The
+      timeline never moves backwards; a smaller [t] is a no-op.  Used by
+      the cluster layer to keep per-node instances synchronized with a
+      shared cluster clock.  Raises [Invalid_argument] during a run. *)
 end
 
 val events_processed : unit -> int

@@ -1,0 +1,255 @@
+(* Cluster layer: network-model determinism, the composed cross-node
+   boundary (soundness property + the seeded asymmetric fixture), and the
+   sharded KV service (conservation, checker cleanliness, leases,
+   batching). *)
+
+module Sim = Ordo_sim.Sim
+module Engine = Ordo_sim.Engine
+module Net = Ordo_cluster.Net
+module Spec = Ordo_cluster.Net.Spec
+module Compose = Ordo_cluster.Compose
+module Kv = Ordo_cluster.Kv
+module Trace = Ordo_trace.Trace
+module Checker = Ordo_trace.Checker
+
+let check = Alcotest.check
+let qtest ?(count = 8) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Quick measurement settings for tests: fewer pings and boundary runs
+   than the bench defaults, still sound (minima only tighten with more
+   rounds). *)
+let measure spec = Compose.measure ~rounds:10 ~node_runs:4 spec
+
+(* ---- engine instance timeline ---- *)
+
+let test_advance_to () =
+  let i = Engine.Instance.create () in
+  check Alcotest.int "fresh timeline" 0 (Engine.Instance.timeline i);
+  Engine.Instance.advance_to i 500;
+  check Alcotest.int "moved forward" 500 (Engine.Instance.timeline i);
+  Engine.Instance.advance_to i 100;
+  check Alcotest.int "never backwards" 500 (Engine.Instance.timeline i)
+
+(* ---- spec parsing ---- *)
+
+let test_spec_parse () =
+  (match Spec.of_string "4xamd" with
+  | Ok s ->
+    check Alcotest.int "nodes" 4 s.Spec.nodes;
+    check Alcotest.string "machine" "amd" s.Spec.machine_name;
+    check Alcotest.int "default base" Spec.default_link.Spec.base_ns s.Spec.link.Spec.base_ns
+  | Error e -> Alcotest.failf "4xamd rejected: %s" e);
+  match Spec.of_string "2xarm:base=500,jitter=50,overhead=10,mode=reorder,skew=0,seed=7" with
+  | Ok s ->
+    check Alcotest.int "base" 500 s.Spec.link.Spec.base_ns;
+    check Alcotest.int "jitter" 50 s.Spec.link.Spec.jitter_ns;
+    check Alcotest.int "overhead" 10 s.Spec.link.Spec.overhead_ns;
+    check Alcotest.bool "mode" true (s.Spec.link.Spec.mode = Spec.Reorder);
+    check Alcotest.int "skew" 0 s.Spec.skew_ns;
+    check Alcotest.bool "seed" true (s.Spec.seed = 7L)
+  | Error e -> Alcotest.failf "full spec rejected: %s" e
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun str ->
+      match Spec.of_string str with
+      | Error e -> Alcotest.failf "%s rejected: %s" str e
+      | Ok s -> (
+        match Spec.of_string (Spec.to_string s) with
+        | Error e -> Alcotest.failf "to_string not parseable: %s" e
+        | Ok s' -> check Alcotest.bool (str ^ " round-trips") true (s = s')))
+    [ "1xamd"; "4xamd"; "2xxeon:base=900"; "3xarm:mode=reorder,skew=9000,seed=3" ]
+
+let test_spec_errors () =
+  List.iter
+    (fun str ->
+      match Spec.of_string str with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S accepted" str)
+    [ ""; "amd"; "0xamd"; "-1xamd"; "3xnosuch"; "2xamd:bogus=1"; "2xamd:base=x" ]
+
+(* ---- network model ---- *)
+
+let deliveries spec count =
+  Sim.with_fresh_instance @@ fun () ->
+  let net : int Net.t = Net.create spec in
+  let order = ref [] in
+  Net.on_message net (fun _src _dst m -> order := m :: !order);
+  for m = 0 to count - 1 do
+    Net.send net ~src:0 ~dst:1 m
+  done;
+  Net.run net;
+  List.rev !order
+
+let test_fifo_in_order () =
+  let spec = Spec.make ~machine:"amd" ~link:{ Spec.default_link with Spec.jitter_ns = 2_000 } 2 in
+  check
+    Alcotest.(list int)
+    "fifo keeps send order"
+    (List.init 40 Fun.id)
+    (deliveries spec 40)
+
+let test_reorder_overtakes () =
+  let link = { Spec.default_link with Spec.jitter_ns = 2_000; Spec.mode = Spec.Reorder } in
+  let spec = Spec.make ~machine:"amd" ~link 2 in
+  let order = deliveries spec 40 in
+  check Alcotest.bool "same multiset" true (List.sort compare order = List.init 40 Fun.id);
+  check Alcotest.bool "some delivery overtakes" true (order <> List.init 40 Fun.id)
+
+let test_network_deterministic () =
+  let spec = Spec.make ~machine:"amd" ~skew_ns:5_000 3 in
+  let run () =
+    Sim.with_fresh_instance @@ fun () ->
+    let net : int Net.t = Net.create spec in
+    let log = ref [] in
+    Net.on_message net (fun src dst m -> log := (src, dst, m, Net.now net) :: !log);
+    for m = 0 to 20 do
+      Net.send net ~src:(m mod 3) ~dst:((m + 1) mod 3) m
+    done;
+    Net.run net;
+    !log
+  in
+  check Alcotest.bool "identical delivery history" true (run () = run ())
+
+(* ---- composed boundary ---- *)
+
+(* Soundness: the composed boundary must cover the worst true pairwise
+   clock offset for any topology — measured delta_ij only ever
+   *over*-estimates o_j - o_i (flight time is nonnegative), so this holds
+   by construction; the property pins it against regressions. *)
+let test_boundary_sound =
+  qtest ~count:6 "composed boundary covers the true pairwise skew"
+    QCheck2.Gen.(
+      triple (int_range 2 4) (int_range 0 20_000)
+        (triple (int_range 100 3_000) (int_range 0 1_000) int64))
+    (fun (nodes, skew, (base, jitter, seed)) ->
+      Sim.with_fresh_instance @@ fun () ->
+      let link = { Spec.default_link with Spec.base_ns = base; Spec.jitter_ns = jitter } in
+      let spec = Spec.make ~machine:"amd" ~skew_ns:skew ~link ~seed nodes in
+      let c = measure spec in
+      let net : unit Net.t = Net.create spec in
+      let worst = ref 0 in
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          worst := max !worst (Net.offset_truth net j - Net.offset_truth net i)
+        done
+      done;
+      c.Compose.boundary >= !worst && c.Compose.boundary >= c.Compose.node_boundaries.(0))
+
+let test_fixture_rtt2_undercovers () =
+  Sim.with_fresh_instance @@ fun () ->
+  let spec = Spec.asymmetric_fixture () in
+  let c = measure spec in
+  let net : unit Net.t = Net.create spec in
+  let true_skew = abs (Net.offset_truth net 1 - Net.offset_truth net 0) in
+  check Alcotest.bool "fixture has real skew" true (true_skew >= 5_000);
+  check Alcotest.bool "rtt/2 under-covers" true (c.Compose.rtt2_boundary < true_skew);
+  check Alcotest.bool "composed covers" true (c.Compose.boundary >= true_skew)
+
+(* ---- KV service ---- *)
+
+let run_kv ?(spec = Spec.make ~machine:"amd" 2) ?(boundary = None) cfg =
+  Sim.with_fresh_instance @@ fun () ->
+  let boundary =
+    match boundary with
+    | Some b -> b
+    | None -> ( match cfg.Kv.source with Kv.Logical -> 0 | Kv.Ordo -> (measure spec).Compose.boundary)
+  in
+  Kv.run ~boundary spec cfg
+
+let base_cfg = { Kv.default with Kv.shards = 2; dur_ns = 60_000 }
+
+let test_kv_deterministic () =
+  let a = run_kv base_cfg and b = run_kv base_cfg in
+  check Alcotest.bool "identical results" true (a = b)
+
+let test_kv_completes_and_conserves () =
+  List.iter
+    (fun source ->
+      let cfg = { base_cfg with Kv.read_pct = 0; cross_pct = 100; source } in
+      let r = run_kv cfg in
+      let name = Kv.source_name source in
+      check Alcotest.bool (name ^ " issued some") true (r.Kv.issued > 0);
+      check Alcotest.int (name ^ " all resolved") r.Kv.issued (r.Kv.committed + r.Kv.aborted);
+      check Alcotest.int (name ^ " no locks left") 0 r.Kv.locks_left;
+      (* Transfers move value between keys; the total is invariant. *)
+      check Alcotest.int (name ^ " conservation") (base_cfg.Kv.keys * 100) r.Kv.sum_values;
+      check Alcotest.bool (name ^ " cross committed") true (r.Kv.cross_committed > 0))
+    [ Kv.Logical; Kv.Ordo ]
+
+let checker_report ?boundary cfg =
+  let spec = Spec.make ~machine:"amd" cfg.Kv.shards in
+  Sim.with_fresh_instance @@ fun () ->
+  let boundary =
+    match boundary with
+    | Some b -> b
+    | None -> ( match cfg.Kv.source with Kv.Logical -> 0 | Kv.Ordo -> (measure spec).Compose.boundary)
+  in
+  Trace.start ~capacity:65536 ();
+  let r = Kv.run ~boundary spec cfg in
+  let t = Trace.stop () in
+  (r, Checker.check ~boundary t)
+
+let test_kv_checker_clean () =
+  List.iter
+    (fun source ->
+      let r, rep = checker_report { base_cfg with Kv.source } in
+      check Alcotest.bool (Kv.source_name source ^ " checker ok") true (Checker.ok rep);
+      check Alcotest.bool
+        (Kv.source_name source ^ " checker saw the commits")
+        true
+        (rep.Checker.committed = r.Kv.committed))
+    [ Kv.Logical; Kv.Ordo ]
+
+let test_kv_fixture_flagged () =
+  Sim.with_fresh_instance @@ fun () ->
+  let spec = Spec.asymmetric_fixture () in
+  let c = measure spec in
+  let cfg = { base_cfg with Kv.source = Kv.Ordo } in
+  let verdict boundary =
+    Trace.start ~capacity:65536 ();
+    let (_ : Kv.result) = Kv.run ~boundary spec cfg in
+    Checker.check ~boundary (Trace.stop ())
+  in
+  check Alcotest.bool "rtt/2 boundary flagged" false (Checker.ok (verdict c.Compose.rtt2_boundary));
+  check Alcotest.bool "composed boundary clean" true (Checker.ok (verdict c.Compose.boundary))
+
+let test_kv_lease_renewals () =
+  (* Read-mostly traffic on a handful of hot keys: most reads must land
+     inside a still-active lease instead of bouncing it. *)
+  let cfg = { base_cfg with Kv.keys = 16; theta = 0.9; read_pct = 90; lease_ns = 10_000 } in
+  let r = run_kv cfg in
+  check Alcotest.bool "leases renewed" true (r.Kv.renewals > 0)
+
+let test_kv_batching_reduces_messages () =
+  let r1 = run_kv { base_cfg with Kv.batch = 1 } in
+  let r4 = run_kv { base_cfg with Kv.batch = 4 } in
+  check Alcotest.int "same offered load" r1.Kv.issued r4.Kv.issued;
+  check Alcotest.bool "fewer messages" true (r4.Kv.messages < r1.Kv.messages)
+
+let test_kv_rejects_mismatch () =
+  Sim.with_fresh_instance @@ fun () ->
+  let spec = Spec.make ~machine:"amd" 3 in
+  Alcotest.check_raises "shards <> nodes"
+    (Invalid_argument "Kv.run: spec must have exactly one node per shard") (fun () ->
+      ignore (Kv.run ~boundary:0 spec { base_cfg with Kv.source = Kv.Logical }))
+
+let suite =
+  [
+    ("instance advance_to", `Quick, test_advance_to);
+    ("spec parse", `Quick, test_spec_parse);
+    ("spec round-trip", `Quick, test_spec_roundtrip);
+    ("spec errors", `Quick, test_spec_errors);
+    ("fifo links deliver in order", `Quick, test_fifo_in_order);
+    ("reorder links overtake", `Quick, test_reorder_overtakes);
+    ("network deterministic", `Quick, test_network_deterministic);
+    test_boundary_sound;
+    ("fixture: rtt/2 under-covers", `Quick, test_fixture_rtt2_undercovers);
+    ("kv deterministic", `Quick, test_kv_deterministic);
+    ("kv conservation (both sources)", `Quick, test_kv_completes_and_conserves);
+    ("kv checker clean (both sources)", `Quick, test_kv_checker_clean);
+    ("kv fixture flagged", `Quick, test_kv_fixture_flagged);
+    ("kv lease renewals", `Quick, test_kv_lease_renewals);
+    ("kv batching reduces messages", `Quick, test_kv_batching_reduces_messages);
+    ("kv shard/spec mismatch", `Quick, test_kv_rejects_mismatch);
+  ]

@@ -246,6 +246,58 @@ let test_wal_concurrent_program_order () =
         (W.durable w))
     wal_flavors
 
+(* The WAL's recovery-order contract, as a property over injected skew:
+   stamp any two records further apart in real time than the measured
+   ORDO_BOUNDARY and they must land in the durable log in that order, for
+   *any* per-socket clock offsets.  Threads append in phases separated by
+   well over the boundary, so every cross-phase record pair is
+   constrained; within a phase only per-thread program order applies
+   (checked by the test above). *)
+let qtest ?(count = 10) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_wal_skew_recovery_order =
+  qtest "wal: appends beyond the boundary recover in stamp order"
+    QCheck2.Gen.(pair (int_range 0 5000) (int_range 0 3000))
+    (fun (skew1, skew2) ->
+      Sim.with_fresh_instance @@ fun () ->
+      let machine =
+        Machine.make
+          {
+            Ordo_util.Topology.name = "skewbox";
+            sockets = 3;
+            cores_per_socket = 2;
+            smt = 1;
+            ghz = 2.0;
+          }
+          ~socket_reset_ns:[| 0; skew1; skew2 |] ~noise_prob:0.0 ~core_jitter_ns:0
+      in
+      let boundary = Ordo_workloads.Workloads.measure_boundary machine in
+      let module O = Ordo_core.Ordo.Make (R) (struct let boundary = boundary end) in
+      let module T = Ordo_core.Timestamp.Ordo_source (O) in
+      let module W = Ordo_db.Wal.Make (R) (T) in
+      let threads = 6 and phases = 3 and per = 2 in
+      let gap = (2 * boundary) + 2_000 in
+      let w = W.create ~threads () in
+      ignore
+        (Sim.run machine ~threads (fun _ ->
+             for p = 0 to phases - 1 do
+               R.work gap;
+               for _ = 1 to per do
+                 ignore (W.append w p : int)
+               done
+             done));
+      ignore (W.checkpoint w : int);
+      W.durable_count w = threads * phases * per
+      &&
+      let highest = ref (-1) in
+      List.for_all
+        (fun r ->
+          let ok = r.W.payload >= !highest in
+          highest := max !highest r.W.payload;
+          ok)
+        (W.durable w))
+
 let suite =
   [
     ("serial roundtrip (all schemes)", `Quick, for_each_scheme serial_roundtrip);
@@ -260,4 +312,5 @@ let suite =
     ("tpcc full five-transaction mix (all)", `Quick, for_each_scheme tpcc_full_mix);
     ("wal basics (both flavors)", `Quick, test_wal_basics);
     ("wal concurrent program order", `Quick, test_wal_concurrent_program_order);
+    test_wal_skew_recovery_order;
   ]

@@ -18,4 +18,5 @@ let () =
       ("shapes", Test_shapes.suite);
       ("analyze", Test_analyze.suite);
       ("lint", Test_lint.suite);
+      ("cluster", Test_cluster.suite);
     ]

@@ -129,6 +129,39 @@ let test_zipf_skew () =
   done;
   check Alcotest.bool "hot key dominates" true (!hot > !cold)
 
+(* The quick-Zipf sampler (Gray et al.) is an analytic approximation of
+   the exact Zipf law p_k = (1/k^theta) / zeta_n(theta).  The cluster KV
+   load generator leans on its shape for contention realism, so pin the
+   whole CDF, not just the hot key: the empirical CDF over many draws
+   must track the theoretical one uniformly (KS-style max deviation). *)
+let test_zipf_cdf =
+  qtest ~count:25 "zipf empirical CDF matches 1/k^theta law"
+    QCheck2.Gen.(triple (int_range 2 400) (int_range 0 95) int64)
+    (fun (n, theta100, seed) ->
+      let theta = float_of_int theta100 /. 100.0 in
+      let z = Zipf.create ~n ~theta in
+      let rng = Rng.create ~seed () in
+      let samples = 20_000 in
+      let counts = Array.make n 0 in
+      for _ = 1 to samples do
+        let k = Zipf.sample z rng in
+        counts.(k) <- counts.(k) + 1
+      done;
+      let zetan = ref 0.0 in
+      for i = 1 to n do
+        zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      let emp = ref 0.0 and theo = ref 0.0 and max_dev = ref 0.0 in
+      for k = 0 to n - 1 do
+        emp := !emp +. (float_of_int counts.(k) /. float_of_int samples);
+        theo := !theo +. (1.0 /. (Float.pow (float_of_int (k + 1)) theta *. !zetan));
+        let d = Float.abs (!emp -. !theo) in
+        if d > !max_dev then max_dev := d
+      done;
+      if !max_dev >= 0.05 then
+        QCheck2.Test.fail_reportf "CDF deviates by %.3f (n=%d theta=%.2f)" !max_dev n theta
+      else true)
+
 let test_zipf_invalid () =
   Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Zipf.create: n must be >= 1")
     (fun () -> ignore (Zipf.create ~n:0 ~theta:0.5));
@@ -271,6 +304,7 @@ let suite =
     test_shuffle_is_permutation;
     test_zipf_bounds;
     ("zipf skew", `Quick, test_zipf_skew);
+    test_zipf_cdf;
     ("zipf invalid args", `Quick, test_zipf_invalid);
     ("zipf single key", `Quick, test_zipf_single_key);
     ("stats summary", `Quick, test_stats_summary);

@@ -1044,3 +1044,113 @@ let cluster ~full =
   Report.kv "asymmetry fixture, composed boundary"
     (Printf.sprintf "%d ns -> %s" c.Compose.boundary
        (if Checker.ok clean then "0 violations" else "UNEXPECTED violations"))
+
+(* ---------- Live: the work-stealing pool on real OCaml 5 domains ------- *)
+
+(* Default output is a determinism-insensitive invariant smoke on a fixed
+   2-worker pool: every line is a host-independent verdict string (no
+   times, no measured boundary values), so CI can diff it byte-for-byte
+   and it stays honest on a 1-CPU runner.  The throughput table — Ordo
+   source vs the shared fetch-and-add sequencer on the same pool, next to
+   the simulated rates — is opt-in via --live / ORDO_LIVE, with --jobs
+   giving the worker count. *)
+
+let live_smoke ~full =
+  let workers = 2 in
+  let boundary = Ordo_sched.Live.boundary ~runs:(if full then 25 else 8) ~workers () in
+  let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  let module Trace = Ordo_trace.Trace in
+  let module Checker = Ordo_trace.Checker in
+  let tasks = 64 in
+  Trace.start ~capacity:65536 ();
+  let sum, certified, pool =
+    P.run ~workers (fun pool ->
+        let ps = List.init tasks (fun i -> P.spawn pool (fun () -> i)) in
+        let sum = List.fold_left (fun acc p -> acc + P.await pool p) 0 ps in
+        let a = P.spawn pool (fun () -> 1) in
+        let b = P.spawn pool (fun () -> P.await pool a + 1) in
+        ignore (P.await pool b : int);
+        (sum, P.cmp_resolved a b, pool))
+  in
+  let t = Trace.stop () in
+  let rep = Checker.check ~boundary t in
+  let st = P.stats pool in
+  let executed = Array.fold_left ( + ) 0 st.P.executed in
+  Report.kv "workers" (string_of_int workers);
+  Report.kv "join sum"
+    (if sum = tasks * (tasks - 1) / 2 then "ok" else "WRONG");
+  Report.kv "certified dependency order"
+    (if certified = -1 then "certainly-before" else "VIOLATION");
+  Report.kv "every task executed exactly once"
+    (* tasks + the a/b chain + the root task *)
+    (if executed = tasks + 3 then "ok" else Printf.sprintf "MISSING (%d)" executed);
+  Report.kv "scheduler trace vs stock checker"
+    (if Checker.ok rep && rep.Checker.committed >= tasks then "ok" else "VIOLATIONS")
+
+let live_rates ~full =
+  let workers = max 2 !H.jobs in
+  (* Time-boxed, not count-boxed: an Ordo [advance] spins one boundary
+     per stamp, and on an oversubscribed host the measured boundary
+     includes preemption delays — a fixed op count could take minutes. *)
+  let dur = if full then 1.0 else 0.25 in
+  let live_rate (module T : Ordo_core.Timestamp.S) =
+    let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+    let stop = Unix.gettimeofday () +. dur in
+    let t0 = Unix.gettimeofday () in
+    let counts =
+      P.run ~workers (fun pool ->
+          P.fork_join pool
+            (List.init workers (fun _ () ->
+                 let n = ref 0 in
+                 while Unix.gettimeofday () < stop do
+                   for _ = 1 to 64 do
+                     ignore (T.advance () : int)
+                   done;
+                   n := !n + 64
+                 done;
+                 !n)))
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int (List.fold_left ( + ) 0 counts) /. wall
+  in
+  let sim_rate src =
+    (* The same generation loop on the simulated AMD preset at the same
+       thread count — the numbers the live table sits next to. *)
+    Sim.with_fresh_instance (fun () ->
+        let machine = Machine.amd in
+        let module TS =
+          (val match src with
+               | `Ordo -> H.ordo_ts machine
+               | `Seq -> H.logical_ts ())
+        in
+        H.throughput machine ~threads:workers (fun _ _ -> ignore (TS.advance () : int)))
+  in
+  let boundary = Ordo_sched.Live.boundary ~workers () in
+  let rows =
+    List.map
+      (fun (label, src) ->
+        let rate =
+          match src with
+          | `Ordo -> live_rate (Ordo_sched.Live.ordo_source ~boundary ())
+          | `Seq -> live_rate (Ordo_sched.Live.sequencer_source ())
+        in
+        (label, rate, sim_rate src))
+      [ ("ordo", `Ordo); ("sequencer", `Seq) ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "timestamp generation on the live pool, %d workers (boundary %d ns) vs simulated amd"
+         workers boundary)
+    ~header:[ "source"; "live stamps/s"; "sim stamps/us" ]
+    (List.map
+       (fun (label, live, sim) -> [ label; Report.human live; Printf.sprintf "%.2f" sim ])
+       rows)
+
+let live ~full =
+  Report.section "Live: Ordo-timestamped work-stealing pool on OCaml 5 domains";
+  live_smoke ~full;
+  if !H.live then live_rates ~full
+  else
+    Report.kv "throughput table" "skipped (opt in with --live or ORDO_LIVE=1; --jobs N sets workers)"

@@ -28,6 +28,12 @@ let jobs = ref 1
 let par_run tasks = Ordo_sim.Pool.run ~jobs:!jobs tasks
 let par_map f xs = Ordo_sim.Pool.map ~jobs:!jobs f xs
 
+(* Opt-in gate for live multi-domain throughput measurement (the [live]
+   experiment's table).  Off by default so the stock bench output stays
+   byte-identical across hosts and job counts — a 1-CPU CI runner asserts
+   only the determinism-insensitive invariant lines. *)
+let live = ref false
+
 (* Split [xs] into consecutive chunks of [n] — the inverse of flattening
    a list of per-series cell lists into one task list. *)
 let rec chunks n xs =

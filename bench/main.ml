@@ -44,6 +44,9 @@ let experiments : (string * string * (full:bool -> unit)) list =
       "Cluster: sharded KV, central sequencer vs composed-Ordo timestamps",
       Experiments.cluster );
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
+    ( "live",
+      "Live: work-stealing pool on OCaml 5 domains (throughput opt-in via --live)",
+      Experiments.live );
   ]
 
 (* Engine single-thread before/after of this PR's fast-path work,
@@ -128,12 +131,13 @@ let write_json path ~jobs ~full ~probes records total_wall total_events =
   close_out oc;
   Printf.printf "perf record written to %s\n%!" path
 
-let run_experiments names full jobs json analyze =
+let run_experiments names full jobs json analyze live =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1\n";
     exit 2
   end;
   Harness.jobs := jobs;
+  Harness.live := live;
   let all = List.map (fun (n, _, _) -> n) experiments in
   let selected =
     match (names, analyze) with
@@ -198,6 +202,16 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let live_arg =
+  let doc =
+    "Measure live multi-domain throughput in the $(b,live) experiment (Ordo vs shared-counter \
+     sequencer on the work-stealing pool, $(b,--jobs) workers).  Off by default: the live \
+     numbers depend on the host, so CI and the determinism checks only see the invariant \
+     lines."
+  in
+  let env = Cmd.Env.info "ORDO_LIVE" ~doc:"Same as $(b,--live) when set to a non-empty value." in
+  Arg.(value & flag & info [ "live" ] ~env ~doc)
+
 let analyze_arg =
   let doc =
     "Run the race-detector verdict pass (the $(b,analyze) experiment): every workload and \
@@ -219,6 +233,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ordo-bench" ~doc ~man)
-    Term.(const run_experiments $ names_arg $ full_arg $ jobs_arg $ json_arg $ analyze_arg)
+    Term.(
+      const run_experiments $ names_arg $ full_arg $ jobs_arg $ json_arg $ analyze_arg
+      $ live_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -41,3 +41,5 @@ let calibration () =
     c
 
 let ticks_to_ns cal t = int_of_float (float_of_int t /. cal.ticks_per_ns)
+
+let warm () = ignore (calibration () : calibration)

@@ -36,6 +36,11 @@ val calibrate : ?duration_ms:int -> unit -> calibration
 val calibration : unit -> calibration
 (** Lazily computed (and then cached) calibration for this process. *)
 
+val warm : unit -> unit
+(** Force the cached calibration now.  Call before spawning domains that
+    will read timestamps: the first read pays a 50 ms calibration run,
+    and concurrent first reads would each pay it. *)
+
 val ticks_to_ns : calibration -> int -> int
 (** Convert a tick count (or tick delta) to nanoseconds. *)
 

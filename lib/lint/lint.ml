@@ -31,8 +31,10 @@ let under file dirs =
   let file = String.map (fun c -> if c = '\\' then '/' else c) file in
   List.exists (fun d -> contains_sub file d) dirs
 
-let protocol_dirs = [ "lib/core/"; "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/" ]
-let substrate_dirs = [ "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/" ]
+let protocol_dirs =
+  [ "lib/core/"; "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/" ]
+
+let substrate_dirs = [ "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/" ]
 let clock_home_dirs = [ "lib/clock/"; "lib/core/" ]
 
 let in_scope ~all_rules ~file rule =

@@ -21,4 +21,8 @@ module Make (R : Runtime_intf.S) = struct
       while R.read t.gen = g do
         R.pause ()
       done
+
+  (* Completed generations — every party has passed [wait] exactly
+     [phase t] times.  Observational (tests, progress reporting). *)
+  let phase t = R.read t.gen
 end

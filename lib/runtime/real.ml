@@ -3,7 +3,16 @@
 (* The one sanctioned bridge from the host clock to Runtime_intf. *)
 [@@@ordo_lint.allow "raw-clock-read"]
 
-let tid_key = Domain.DLS.new_key (fun () -> 0)
+(* Thread ids.  Domains placed by [Exec.run_on] get their slot index;
+   the main domain is pinned to 0 at module initialization.  Any other
+   domain (a bare [Domain.spawn] that was never placed) draws a fresh
+   fallback id instead of silently aliasing tid 0 — aliasing would make
+   two live domains share per-thread state (OpLog per-core logs, CC
+   contexts) and corrupt it. *)
+let fallback_tid = Atomic.make 1
+let tid_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add fallback_tid 1)
+let () = Domain.DLS.set tid_key 0
+let set_tid i = Domain.DLS.set tid_key i
 
 module Runtime : Runtime_intf.S = struct
   let name = "real"
@@ -60,7 +69,7 @@ module Exec : Runtime_intf.EXEC = struct
     let trace = Ordo_trace.Trace.active_handle () in
     let spawn i (core, fn) =
       Domain.spawn (fun () ->
-          Domain.DLS.set tid_key i;
+          set_tid i;
           Ordo_trace.Trace.adopt trace;
           ignore (Ordo_clock.Tsc.set_affinity core : bool);
           fn ())

@@ -1,0 +1,100 @@
+(* Chase–Lev work-stealing deque over the runtime signature.
+
+   Every shared word is an [R.cell] (one exclusively-owned cache line in
+   the cost model, an [Atomic.t] on real hardware, SC semantics in both
+   substrates), which is what makes the classic algorithm safe to
+   transliterate: the bottom-store/top-load pair in [pop] and the
+   slot-load/top-CAS pair in [steal] need no explicit fences beyond the
+   cells themselves.  Slots hold ['a option] so an emptied slot drops its
+   reference for the GC. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) = struct
+  type 'a buf = { mask : int; slots : 'a option R.cell array }
+
+  type 'a t = {
+    top : int R.cell;  (* next index to steal; only ever increases *)
+    bottom : int R.cell;  (* next index to push; owner-written *)
+    buf : 'a buf R.cell;
+    last_push : int R.cell;  (* Ordo stamp published by the owner on push *)
+  }
+
+  let mk_buf size = { mask = size - 1; slots = Array.init size (fun _ -> R.cell None) }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+    {
+      top = R.cell 0;
+      bottom = R.cell 0;
+      buf = R.cell (mk_buf (pow2 capacity 1));
+      last_push = R.cell 0;
+    }
+
+  (* Owner only.  Copy the live window [tp, b) into a buffer twice the
+     size and republish.  The old array is abandoned unmodified: a thief
+     that read it before the swap still finds the element it CASes for. *)
+  let grow t a tp b =
+    let bigger = mk_buf ((a.mask + 1) * 2) in
+    for i = tp to b - 1 do
+      R.write bigger.slots.(i land bigger.mask) (R.read a.slots.(i land a.mask))
+    done;
+    R.write t.buf bigger;
+    bigger
+
+  let push t ~stamp v =
+    let b = R.read t.bottom in
+    let tp = R.read t.top in
+    let a = R.read t.buf in
+    let a = if b - tp > a.mask then grow t a tp b else a in
+    R.write a.slots.(b land a.mask) (Some v);
+    R.write t.bottom (b + 1);
+    R.write t.last_push stamp
+
+  let pop t =
+    let b = R.read t.bottom - 1 in
+    let a = R.read t.buf in
+    R.write t.bottom b;
+    let tp = R.read t.top in
+    if b < tp then begin
+      (* Already empty; restore the canonical empty state. *)
+      R.write t.bottom tp;
+      None
+    end
+    else begin
+      let slot = a.slots.(b land a.mask) in
+      let x = R.read slot in
+      if b > tp then begin
+        R.write slot None;
+        x
+      end
+      else begin
+        (* Last element: race the thieves for it on [top]. *)
+        let won = R.cas t.top tp (tp + 1) in
+        R.write t.bottom (tp + 1);
+        if won then begin
+          R.write slot None;
+          x
+        end
+        else None
+      end
+    end
+
+  let rec steal t =
+    let tp = R.read t.top in
+    let b = R.read t.bottom in
+    if b - tp <= 0 then None
+    else begin
+      let a = R.read t.buf in
+      let x = R.read a.slots.(tp land a.mask) in
+      if R.cas t.top tp (tp + 1) then x
+      else begin
+        (* Lost to another thief or to the owner's last-element pop. *)
+        R.pause ();
+        steal t
+      end
+    end
+
+  let size t = max 0 (R.read t.bottom - R.read t.top)
+  let last_stamp t = R.read t.last_push
+end

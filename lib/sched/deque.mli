@@ -1,0 +1,42 @@
+(** Lock-free SPMC work-stealing deque (Chase–Lev), written against the
+    runtime signature so the same code runs on real OCaml 5 domains and in
+    the simulator.
+
+    One *owner* thread pushes and pops at the bottom; any number of
+    *thieves* remove from the top with a single CAS on the top index.  The
+    circular buffer grows on demand (the owner copies into a bigger array
+    and republishes it; abandoned arrays are never mutated again, so a
+    thief holding a stale array still reads a correct value for any index
+    its CAS wins).  Values are managed OCaml objects, so there is no ABA:
+    the top index only ever increases.
+
+    The deque additionally publishes the Ordo stamp of its most recent
+    push ({!last_stamp}).  Thieves use these published stamps to rank
+    victims — steal from the queue that was fed longest ago, i.e. whose
+    pending work is certainly oldest — instead of arbitrating steals
+    through a shared fetch-and-add sequencer. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] is the initial buffer size (rounded up to a power of two,
+      default 64); the buffer grows, so it only sets the first allocation. *)
+
+  val push : 'a t -> stamp:int -> 'a -> unit
+  (** Owner only: push [v] at the bottom and publish [stamp] as the
+      deque's most recent feed time. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only: take the most recently pushed element (LIFO end). *)
+
+  val steal : 'a t -> 'a option
+  (** Any thread: take the oldest element (FIFO end).  Retries internally
+      on CAS contention; [None] means the deque was observed empty. *)
+
+  val size : 'a t -> int
+  (** Snapshot of the element count (racy; never negative). *)
+
+  val last_stamp : 'a t -> int
+  (** The stamp of the most recent {!push} (0 before the first push). *)
+end

@@ -1,0 +1,26 @@
+module Exec = Ordo_runtime.Real.Exec
+module R = Ordo_runtime.Real.Runtime
+
+let boundary ?(runs = 25) ?(floor = 1_000) ~workers () =
+  if workers < 1 then invalid_arg "Live.boundary: workers must be >= 1";
+  (* Force the one-off TSC calibration on this domain before spawning
+     measurement workers: concurrent first reads would each pay (and
+     race) the 50 ms calibration loop. *)
+  Ordo_clock.Tsc.warm ();
+  (* Every socket of a real host is covered by cores [0 .. 3] at the
+     scales this pool runs at; measuring all O(n^2) directed pairs of a
+     big pool would dominate startup.  The clamp keeps the boundary
+     meaningful when the host falls back to one kernel-synchronized
+     monotonic clock (measured skew ~ 0). *)
+  let sampled = max 2 (min workers 4) in
+  let module B = Ordo_core.Boundary.Make (Exec) in
+  max floor (B.measure ~runs ~cores:(List.init sampled Fun.id) ())
+
+let ordo_source ~boundary () : (module Ordo_core.Timestamp.S) =
+  let module O = Ordo_core.Ordo.Make (R) (struct
+    let boundary = boundary
+  end) in
+  (module Ordo_core.Timestamp.Ordo_source (O))
+
+let sequencer_source () : (module Ordo_core.Timestamp.S) =
+  (module Ordo_core.Timestamp.Logical (R) ())

@@ -1,0 +1,31 @@
+(** Live-host construction of the scheduler: the real-domain counterparts
+    of what the bench harness builds for the simulator.
+
+    [boundary] measures the ORDO_BOUNDARY across the worker cores with
+    the paper's pairwise algorithm (Figure 4) running on real domains;
+    [ordo_source] wraps the host's invariant clock and that boundary as a
+    [Timestamp.S]; [sequencer_source] is the shared fetch-and-add
+    baseline on the same substrate.  Instantiate the pool with either:
+
+    {[
+      let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+      let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+      P.run ~workers (fun pool -> ...)
+    ]} *)
+
+val boundary : ?runs:int -> ?floor:int -> workers:int -> unit -> int
+(** Measured ORDO_BOUNDARY (ns) over the hardware threads the pool will
+    occupy, sampled over at most 4 cores to keep the pair count small.
+    Clamped below by [floor] (default 1000 ns): on hosts where every core
+    reads one kernel-synchronized clock the raw minimum-delay measurement
+    can approach zero, and a zero boundary would make in-window
+    concurrency claims vacuous.  Forces the TSC calibration first so
+    worker domains never race the 50 ms calibration run. *)
+
+val ordo_source : boundary:int -> unit -> (module Ordo_core.Timestamp.S)
+(** Ordo timestamps over the host invariant clock: [get] is a core-local
+    serialized read, [after] spins out of the uncertainty window. *)
+
+val sequencer_source : unit -> (module Ordo_core.Timestamp.S)
+(** The contended baseline: a single global atomic counter ([Logical]);
+    every allocation is a fetch-and-add on one shared line. *)

@@ -1,0 +1,323 @@
+(* The scheduler.  See pool.mli for the contract.
+
+   Inboxes drain in raw (stamp, origin) lexicographic order by design:
+   certainly-older work runs first, and submissions inside one
+   ORDO_BOUNDARY resolve by origin worker id — the OpLog merge policy.
+   [cmp_resolved] first asks [T.cmp] and only tie-breaks an uncertain
+   verdict, so no raw comparison ever invents an ordering the clock
+   cannot certify. *)
+[@@@ordo_lint.allow "poly-compare"]
+
+module Make (E : Ordo_runtime.Runtime_intf.EXEC) (T : Ordo_core.Timestamp.S) = struct
+  module Clock = T
+  module R = E.Runtime
+  module Deque = Deque.Make (R)
+
+  type resolution = { r_stamp : int; r_core : int }
+  type 'a state = Pending | Resolved of { value : 'a; res : resolution }
+  type 'a promise = { id : int; cell : 'a state R.cell }
+
+  type task = {
+    t_stamp : int;  (* spawn stamp, allocated on the submitting core *)
+    t_origin : int;  (* submitting worker, the in-window tie-break *)
+    t_run : unit -> unit;
+  }
+
+  type worker = {
+    wid : int;
+    deque : task Deque.t;
+    inbox : task list R.cell;  (* Treiber list of deferred submissions *)
+    mutable last_stamp : int;  (* worker-private: last stamp issued here *)
+    mutable dep_stamp : int;  (* max resolution stamp the running task awaited *)
+    mutable reads : (int * int) list;  (* (promise id, stamp) the task observed *)
+    mutable next_id : int;
+    mutable n_executed : int;
+    mutable n_stolen : int;
+    mutable n_parks : int;
+    rng : Ordo_util.Rng.t;
+  }
+
+  type t = {
+    ws : worker array;
+    pending : int R.cell;  (* submitted but not yet completed tasks *)
+    parked : int R.cell;
+    epoch : int R.cell;  (* bumped on submission when anyone is parked *)
+    shutdown : bool R.cell;
+  }
+
+  type stats = { executed : int array; stolen : int array; parks : int array }
+
+  let mk_worker wid =
+    {
+      wid;
+      deque = Deque.create ();
+      inbox = R.cell [];
+      last_stamp = 0;
+      dep_stamp = 0;
+      reads = [];
+      next_id = 0;
+      n_executed = 0;
+      n_stolen = 0;
+      n_parks = 0;
+      rng = Ordo_util.Rng.create ~seed:(Int64.of_int ((wid * 2654435761) + 1)) ();
+    }
+
+  let workers t = Array.length t.ws
+  let me t = t.ws.(R.tid ())
+
+  (* Promise ids are (worker, local counter) packed into one int — unique
+     without a shared allocator, and usable as a trace key. *)
+  let fresh_id w =
+    w.next_id <- w.next_id + 1;
+    (w.wid lsl 32) lor w.next_id
+
+  (* Wake parked workers after making work visible.  The [parked] read is
+     the common case and touches no line exclusively. *)
+  let unpark t = if R.read t.parked > 0 then ignore (R.fetch_add t.epoch 1 : int)
+
+  (* ---- certified completion ----
+
+     A task is a degenerate transaction over the promise space: it reads
+     the resolutions it awaited and installs its own.  The probe burst is
+     emitted contiguously at resolution so the per-thread tx stream seen
+     by the offline checker never nests even though awaiting tasks help
+     run other tasks in the middle of their own execution. *)
+
+  let resolve t ew (p : _ promise) ~begin_ts ~reads value =
+    let stamp = T.after (max ew.last_stamp ew.dep_stamp) in
+    ew.last_stamp <- stamp;
+    R.write p.cell (Resolved { value; res = { r_stamp = stamp; r_core = ew.wid } });
+    R.probe "tx.begin" begin_ts 0;
+    List.iter (fun (id, ver) -> R.probe "tx.read" id ver) reads;
+    R.probe "tx.install" p.id stamp;
+    R.probe "tx.commit" stamp 0;
+    R.probe Ordo_trace.Trace.tag_sched_resolve p.id stamp;
+    ignore (R.fetch_add t.pending (-1) : int);
+    unpark t
+
+  let run_task (w : worker) (task : task) =
+    (* Helping re-enters: save the certification state of the task that
+       is awaiting, run the helped task with a clean slate, restore. *)
+    let dep = w.dep_stamp and reads = w.reads in
+    w.dep_stamp <- 0;
+    w.reads <- [];
+    task.t_run ();
+    w.dep_stamp <- dep;
+    w.reads <- reads;
+    w.n_executed <- w.n_executed + 1
+
+  (* ---- the three work sources, in priority order ---- *)
+
+  let drain_inbox w =
+    match R.read w.inbox with
+    | [] -> false
+    | _ ->
+      let deferred = R.exchange w.inbox [] in
+      let deferred =
+        List.sort
+          (fun a b ->
+            let c = compare a.t_stamp b.t_stamp in
+            if c <> 0 then c else compare a.t_origin b.t_origin)
+          deferred
+      in
+      List.iter (run_task w) deferred;
+      true
+
+  let pop_own w =
+    match Deque.pop w.deque with
+    | Some task ->
+      run_task w task;
+      true
+    | None -> false
+
+  (* Victim selection: rank feeds by their published stamps with the
+     uncertainty-aware comparator — a certainly-older feed is tried
+     first; feeds inside one ORDO_BOUNDARY of each other keep the rotated
+     order (random start, so thieves spread instead of convoying). *)
+  let try_steal t w =
+    let n = Array.length t.ws in
+    if n <= 1 then false
+    else begin
+      let off = Ordo_util.Rng.int w.rng (n - 1) in
+      let cands = ref [] in
+      for k = n - 2 downto 0 do
+        let v = t.ws.((w.wid + 1 + ((off + k) mod (n - 1))) mod n) in
+        if v.wid <> w.wid && Deque.size v.deque > 0 then cands := v :: !cands
+      done;
+      let ranked =
+        List.stable_sort
+          (fun v1 v2 -> T.cmp (Deque.last_stamp v1.deque) (Deque.last_stamp v2.deque))
+          !cands
+      in
+      let rec go = function
+        | [] -> false
+        | v :: rest -> (
+          match Deque.steal v.deque with
+          | Some task ->
+            w.n_stolen <- w.n_stolen + 1;
+            R.probe Ordo_trace.Trace.tag_sched_steal v.wid task.t_stamp;
+            run_task w task;
+            true
+          | None -> go rest)
+      in
+      go ranked
+    end
+
+  let help_once t w = drain_inbox w || pop_own w || try_steal t w
+
+  (* ---- submission ---- *)
+
+  let submit_deque t w ~stamp task =
+    ignore (R.fetch_add t.pending 1 : int);
+    Deque.push w.deque ~stamp task;
+    unpark t
+
+  let rec push_inbox cell task =
+    let old = R.read cell in
+    if not (R.cas cell old (task :: old)) then push_inbox cell task
+
+  let submit_inbox t target task =
+    ignore (R.fetch_add t.pending 1 : int);
+    push_inbox target.inbox task;
+    unpark t
+
+  let mk_task t w fn =
+    let stamp = T.after w.last_stamp in
+    w.last_stamp <- stamp;
+    let p = { id = fresh_id w; cell = R.cell Pending } in
+    let run () =
+      let ew = me t in
+      let value = fn () in
+      resolve t ew p ~begin_ts:stamp ~reads:(List.rev ew.reads) value
+    in
+    (p, { t_stamp = stamp; t_origin = w.wid; t_run = run })
+
+  let spawn t fn =
+    let w = me t in
+    let p, task = mk_task t w fn in
+    submit_deque t w ~stamp:task.t_stamp task;
+    p
+
+  let spawn_on t ~worker fn =
+    let n = Array.length t.ws in
+    if worker < 0 || worker >= n then invalid_arg "Pool.spawn_on: no such worker";
+    let w = me t in
+    let p, task = mk_task t w fn in
+    if worker = w.wid then submit_deque t w ~stamp:task.t_stamp task
+    else submit_inbox t t.ws.(worker) task;
+    p
+
+  (* ---- promises ---- *)
+
+  let promise t = { id = fresh_id (me t); cell = R.cell Pending }
+
+  let fulfil t p value =
+    let w = me t in
+    (match R.read p.cell with
+    | Resolved _ -> invalid_arg "Pool.fulfil: promise already resolved"
+    | Pending -> ());
+    (* Balance the decrement inside [resolve]: an external fulfilment is
+       a task that was never separately submitted. *)
+    ignore (R.fetch_add t.pending 1 : int);
+    resolve t w p ~begin_ts:w.last_stamp ~reads:[] value
+
+  let rec await t p =
+    let w = me t in
+    match R.read p.cell with
+    | Resolved { value; res } ->
+      w.dep_stamp <- max w.dep_stamp res.r_stamp;
+      w.reads <- (p.id, res.r_stamp) :: w.reads;
+      value
+    | Pending ->
+      if not (help_once t w) then R.pause ();
+      await t p
+
+  let fork_join t fns = List.map (await t) (List.map (spawn t) fns)
+
+  let resolution p =
+    match R.read p.cell with
+    | Resolved { res; _ } -> Some (res.r_stamp, res.r_core)
+    | Pending -> None
+
+  let cmp_resolved pa pb =
+    match (R.read pa.cell, R.read pb.cell) with
+    | Resolved { res = ra; _ }, Resolved { res = rb; _ } ->
+      let c = T.cmp ra.r_stamp rb.r_stamp in
+      if c <> 0 then c else compare (ra.r_core, pa.id) (rb.r_core, pb.id)
+    | _ -> invalid_arg "Pool.cmp_resolved: unresolved promise"
+
+  (* ---- the workers ---- *)
+
+  let park_threshold = 32
+
+  let has_visible_work t w =
+    R.read w.inbox <> []
+    || Array.exists (fun v -> Deque.size v.deque > 0) t.ws
+
+  let worker_loop t w =
+    let misses = ref 0 in
+    while not (R.read t.shutdown) do
+      if help_once t w then misses := 0
+      else begin
+        incr misses;
+        if !misses < park_threshold then R.pause ()
+        else begin
+          (* Park: register, then re-check — a submitter either saw
+             [parked > 0] and bumped the epoch, or we see its push. *)
+          w.n_parks <- w.n_parks + 1;
+          R.probe Ordo_trace.Trace.tag_sched_park w.wid !misses;
+          ignore (R.fetch_add t.parked 1 : int);
+          let e = R.read t.epoch in
+          while
+            (not (has_visible_work t w))
+            && R.read t.epoch = e
+            && not (R.read t.shutdown)
+          do
+            R.pause ()
+          done;
+          ignore (R.fetch_add t.parked (-1) : int);
+          misses := 0
+        end
+      end
+    done
+
+  let run ?workers fn =
+    let n = match workers with Some n -> n | None -> max 1 (E.num_cores ()) in
+    if n < 1 then invalid_arg "Pool.run: workers must be >= 1";
+    let t =
+      {
+        ws = Array.init n mk_worker;
+        pending = R.cell 0;
+        parked = R.cell 0;
+        epoch = R.cell 0;
+        shutdown = R.cell false;
+      }
+    in
+    let result = ref None in
+    E.run_on
+      (List.init n (fun i ->
+           ( i,
+             fun () ->
+               if i = 0 then begin
+                 let root = spawn t (fun () -> fn t) in
+                 let v = await t root in
+                 (* Finish structured leftovers (fire-and-forget spawns)
+                    before stopping the workers. *)
+                 while R.read t.pending > 0 do
+                   if not (help_once t t.ws.(0)) then R.pause ()
+                 done;
+                 result := Some v;
+                 R.write t.shutdown true
+               end
+               else worker_loop t t.ws.(i) )));
+    match !result with
+    | Some v -> v
+    | None -> invalid_arg "Pool.run: root task produced no result"
+
+  let stats t =
+    {
+      executed = Array.map (fun w -> w.n_executed) t.ws;
+      stolen = Array.map (fun w -> w.n_stolen) t.ws;
+      parks = Array.map (fun w -> w.n_parks) t.ws;
+    }
+end

@@ -1,0 +1,86 @@
+(** Ordo_sched: a work-stealing scheduler with Ordo-certified promises.
+
+    One {!Deque} per worker; spawns go to the calling worker's own deque,
+    idle workers steal from victims ranked by the deques' published Ordo
+    stamps (certainly-oldest feed first, in-window ties rotated from a
+    per-thief random offset), and cross-worker submissions land in a
+    per-worker inbox that is drained in [(stamp, origin)] order — the
+    same uncertainty-window tie-break OpLog uses for its merge.  No
+    scheduling decision goes through a shared fetch-and-add sequencer;
+    every stamp is a core-local read of the timestamp source [T].
+
+    {b Certified resolution.}  Every task runs as a degenerate
+    transaction: its promise resolves with a stamp allocated by
+    [T.after (max last_local max_awaited)], i.e. certainly after every
+    resolution the task observed through {!await}.  With tracing on, the
+    scheduler emits the stock [tx.begin]/[tx.read]/[tx.install]/
+    [tx.commit] probe protocol (plus [sched.steal]/[sched.park]/
+    [sched.resolve] events), so [Ordo_trace.Checker] verifies offline
+    that certified resolution order is serializable.
+
+    {b Blocking model.}  {!await} on an unresolved promise makes the
+    caller *help*: it runs its own, inbox and stolen tasks until the
+    promise resolves.  Structured use (fork/join trees, or promises
+    fulfilled by spawned tasks) therefore cannot deadlock; a promise
+    nobody is scheduled to fulfil will spin its awaiter forever. *)
+
+module Make (E : Ordo_runtime.Runtime_intf.EXEC) (T : Ordo_core.Timestamp.S) : sig
+  module Clock : Ordo_core.Timestamp.S
+  (** The pool's timestamp source — the functor argument re-exported, so
+      existing substrates (OpLog, OCC, TicToc, ...) run on the pool
+      unchanged: [Ordo_db.Occ.Make (E.Runtime) (P.Clock)]. *)
+
+  type t
+
+  type 'a promise
+
+  val run : ?workers:int -> (t -> 'a) -> 'a
+  (** [run fn] launches [workers] threads (default [E.num_cores ()]) on
+      hardware threads [0 .. workers-1], executes [fn pool] as a certified
+      task on worker 0, helps until every spawned task has completed, and
+      shuts the pool down.  All other pool operations must be called from
+      inside [fn] (on any worker). *)
+
+  val spawn : t -> (unit -> 'a) -> 'a promise
+  (** Push a task onto the calling worker's own deque.  The task's spawn
+      stamp is allocated core-locally with [T.after]. *)
+
+  val spawn_on : t -> worker:int -> (unit -> 'a) -> 'a promise
+  (** Deferred cross-worker submission: stamp on the calling core, push
+      into [worker]'s inbox.  Inboxes drain in [(stamp, origin)] order
+      before the worker touches its deque. *)
+
+  val await : t -> 'a promise -> 'a
+  (** Return the resolved value, recording the resolution stamp as a
+      certified dependency of the calling task; helps (runs other tasks)
+      while pending. *)
+
+  val promise : t -> 'a promise
+  (** An unresolved promise, to be completed with {!fulfil}. *)
+
+  val fulfil : t -> 'a promise -> 'a -> unit
+  (** Resolve a {!promise} with a certified stamp.  Raises
+      [Invalid_argument] if already resolved. *)
+
+  val fork_join : t -> (unit -> 'a) list -> 'a list
+  (** Spawn all thunks, await all results (in order). *)
+
+  val resolution : 'a promise -> (int * int) option
+  (** [Some (stamp, worker)] once resolved. *)
+
+  val cmp_resolved : 'a promise -> 'b promise -> int
+  (** Certified resolution order: [T.cmp] on the resolution stamps, with
+      in-window ties (cmp = 0 under a nonzero ORDO_BOUNDARY) broken
+      deterministically by [(worker, promise id)] — the OpLog policy.
+      Total, antisymmetric on distinct resolved promises.  Raises
+      [Invalid_argument] if either side is unresolved. *)
+
+  val workers : t -> int
+
+  type stats = { executed : int array; stolen : int array; parks : int array }
+
+  val stats : t -> stats
+  (** Per-worker counters: tasks run, tasks obtained by stealing, park
+      episodes.  Racy while the pool is running; exact after {!run}
+      returns (read them from inside the root task's result). *)
+end

@@ -66,6 +66,13 @@ let tag_guard_remeasure = "guard.remeasure"  (* b = recalibrated boundary, c = e
 let guard_tag_names =
   [| tag_guard_ts; tag_guard_violation; tag_guard_bound; tag_guard_fallback; tag_guard_remeasure |]
 
+(* Probe tags emitted by the work-stealing scheduler ([Ordo_sched]).
+   Plain probes — no reclassification — so the stock offline checker and
+   the Chrome exporter see them without special cases. *)
+let tag_sched_steal = "sched.steal"  (* b = victim worker id, c = stolen task's stamp *)
+let tag_sched_park = "sched.park"  (* b = worker id, c = park count so far *)
+let tag_sched_resolve = "sched.resolve"  (* b = promise id, c = certified resolution stamp *)
+
 (* Transfer classes (the [b] field of [Transfer]), matching the simulator's
    latency tiers. *)
 let cls_l1 = 0

@@ -59,6 +59,16 @@ val tag_guard_fallback : string  (** b = fallback clock seed, c = boundary *)
 
 val tag_guard_remeasure : string  (** b = recalibrated boundary, c = excess *)
 
+(** Probe tags emitted by the work-stealing scheduler ([Ordo_sched]).
+    Ordinary probes (not reclassified): the stock checker's invariants and
+    the Chrome exporter apply to scheduler traces unchanged. *)
+
+val tag_sched_steal : string  (** b = victim worker id, c = stolen task's stamp *)
+
+val tag_sched_park : string  (** b = worker id, c = park count so far *)
+
+val tag_sched_resolve : string  (** b = promise id, c = certified resolution stamp *)
+
 (** Transfer classes ([b] of [Transfer]), the simulator's latency tiers. *)
 
 val cls_l1 : int

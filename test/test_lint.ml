@@ -74,6 +74,20 @@ let test_path_scoping () =
   check Alcotest.(list string) "raw get_time only inside substrates" []
     (scoped "bin/x.ml" "let t = R.get_time ()")
 
+let test_sched_scoping () =
+  (* The scheduler is both a protocol dir (poly-compare, cmp-zero) and a
+     substrate dir (raw-get-time); raw clock reads were already flagged
+     everywhere outside lib/clock + lib/core. *)
+  let scoped file src = rules_of (diags ~all_rules:false ~file src) in
+  check Alcotest.(list string) "poly-compare on in lib/sched" [ "poly-compare" ]
+    (scoped "lib/sched/x.ml" "let newer commit_ts start_ts = commit_ts > start_ts");
+  check Alcotest.(list string) "cmp-zero on in lib/sched" [ "cmp-zero-equality" ]
+    (scoped "lib/sched/x.ml" "let eq a b = cmp_time a b = 0");
+  check Alcotest.(list string) "raw get_time flagged in lib/sched" [ "raw-get-time" ]
+    (scoped "lib/sched/x.ml" "let stamp () = R.get_time ()");
+  check Alcotest.(list string) "raw clock reads flagged in lib/sched" [ "raw-clock-read" ]
+    (scoped "lib/sched/x.ml" "let t = Clock.Host.get_time ()")
+
 let test_allow_pragma () =
   let src =
     "[@@@ordo_lint.allow \"poly-compare\"]\nlet newer commit_ts start_ts = commit_ts > start_ts"
@@ -117,6 +131,7 @@ let suite =
     case "raw clock reads fire" test_raw_clock_fires;
     case "raw get_time in substrates fires" test_raw_get_time_fires;
     case "path scoping" test_path_scoping;
+    case "lib/sched scoping" test_sched_scoping;
     case "allow pragma" test_allow_pragma;
     case "parse errors surface" test_parse_error_reported;
     case "misuse fixture fires every rule" test_misuse_fixture;

@@ -8,6 +8,7 @@ let () =
       ("clock", Test_clock.suite);
       ("engine", Test_engine.suite);
       ("runtime", Test_runtime.suite);
+      ("sched", Test_sched.suite);
       ("ordo-core", Test_ordo_core.suite);
       ("rlu", Test_rlu.suite);
       ("oplog", Test_oplog.suite);

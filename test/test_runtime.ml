@@ -47,6 +47,17 @@ let test_barrier_real () =
       done);
   Alcotest.(check bool) "real barrier holds" true (Atomic.get ok)
 
+let test_barrier_phase () =
+  let module B = Ordo_runtime.Barrier.Make (SimR) in
+  let b = B.create 3 in
+  Alcotest.(check int) "phase starts at 0" 0 (B.phase b);
+  ignore
+    (Sim.run tiny ~threads:3 (fun _ ->
+         for _ = 1 to 7 do
+           B.wait b
+         done));
+  Alcotest.(check int) "one generation per round" 7 (B.phase b)
+
 let test_barrier_invalid () =
   let module B = Ordo_runtime.Barrier.Make (SimR) in
   Alcotest.check_raises "parties >= 1" (Invalid_argument "Barrier.create: parties must be >= 1")
@@ -137,6 +148,66 @@ let test_mcs_real () =
       done);
   Alcotest.(check int) "real MCS excludes" (threads * per) !x
 
+(* ---- qcheck model checks under 2-4 real domains ----
+
+   Random thread counts and iteration loads; mutual exclusion is checked
+   with the torn-pair model (two plain refs bumped together under the
+   lock — any exclusion failure shows as a lost update or a split pair),
+   the barrier with its generation counter. *)
+
+let qtest ?(count = 6) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let exercise_real_lock ~threads ~per ~acquire ~release =
+  let a = ref 0 and b = ref 0 in
+  Ordo_runtime.Real.run ~threads (fun _ ->
+      for _ = 1 to per do
+        acquire ();
+        let va = !a in
+        a := va + 1;
+        b := !b + 1;
+        release ()
+      done);
+  !a = threads * per && !b = threads * per
+
+let qcheck_spinlock_real =
+  qtest "qcheck: spinlock excludes on 2-4 real domains"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 300))
+    (fun (threads, per) ->
+      let module L = Ordo_runtime.Spinlock.Make (RealR) in
+      let lock = L.create () in
+      exercise_real_lock ~threads ~per
+        ~acquire:(fun () -> L.acquire lock)
+        ~release:(fun () -> L.release lock))
+
+let qcheck_mcs_real =
+  qtest "qcheck: mcs excludes on 2-4 real domains"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 300))
+    (fun (threads, per) ->
+      let module L = Ordo_runtime.Mcs.Make (RealR) in
+      let lock = L.create () in
+      let a = ref 0 and b = ref 0 in
+      Ordo_runtime.Real.run ~threads (fun _ ->
+          for _ = 1 to per do
+            L.with_lock lock (fun () ->
+                let va = !a in
+                a := va + 1;
+                b := !b + 1)
+          done);
+      !a = threads * per && !b = threads * per)
+
+let qcheck_barrier_real =
+  qtest "qcheck: barrier generations on 2-4 real domains"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 40))
+    (fun (threads, rounds) ->
+      let module B = Ordo_runtime.Barrier.Make (RealR) in
+      let b = B.create threads in
+      Ordo_runtime.Real.run ~threads (fun _ ->
+          for _ = 1 to rounds do
+            B.wait b
+          done);
+      B.phase b = rounds)
+
 (* ---- real runtime basics ---- *)
 
 let test_real_tids () =
@@ -145,6 +216,18 @@ let test_real_tids () =
       assert (RealR.tid () = i);
       seen.(i) <- true);
   Alcotest.(check bool) "all tids ran" true (Array.for_all Fun.id seen)
+
+(* Regression: the DLS default used to hand every unplaced domain tid 0,
+   so two bare [Domain.spawn]s aliased each other's per-thread state
+   (OpLog logs, CC contexts).  Unplaced domains must now draw distinct
+   nonzero fallback ids, while the main domain stays pinned at 0. *)
+let test_real_tids_never_alias () =
+  Alcotest.(check int) "main domain is tid 0" 0 (RealR.tid ());
+  let d1 = Domain.spawn (fun () -> RealR.tid ()) in
+  let d2 = Domain.spawn (fun () -> RealR.tid ()) in
+  let t1 = Domain.join d1 and t2 = Domain.join d2 in
+  Alcotest.(check bool) "unplaced domains are not tid 0" true (t1 > 0 && t2 > 0);
+  Alcotest.(check bool) "two live domains never alias" true (t1 <> t2)
 
 let test_real_cells () =
   let c = RealR.cell 0 in
@@ -167,6 +250,7 @@ let suite =
   [
     ("barrier (sim)", `Quick, test_barrier_sim);
     ("barrier (real)", `Quick, test_barrier_real);
+    ("barrier phase", `Quick, test_barrier_phase);
     ("barrier invalid", `Quick, test_barrier_invalid);
     ("spinlock excludes (sim)", `Quick, test_spinlock_sim);
     ("mcs excludes (sim)", `Quick, test_mcs_sim);
@@ -175,6 +259,10 @@ let suite =
     ("spinlock excludes (real)", `Quick, test_spinlock_real);
     ("mcs excludes (real)", `Quick, test_mcs_real);
     ("real tids", `Quick, test_real_tids);
+    ("real tids never alias", `Quick, test_real_tids_never_alias);
     ("real atomic cells", `Quick, test_real_cells);
     ("real work/time", `Quick, test_real_work_and_time);
+    qcheck_spinlock_real;
+    qcheck_mcs_real;
+    qcheck_barrier_real;
   ]

@@ -1,0 +1,351 @@
+(* The work-stealing scheduler: the Chase–Lev deque against a sequential
+   model and under real-domain thieves, pool invariants on both
+   substrates, certified promise-resolution order, and the stock offline
+   checker over scheduler traces (sim and live). *)
+
+module SimR = Ordo_sim.Sim.Runtime
+module Sim = Ordo_sim.Sim
+module Machine = Ordo_sim.Machine
+module RealR = Ordo_runtime.Real.Runtime
+module Trace = Ordo_trace.Trace
+module Checker = Ordo_trace.Checker
+
+let check = Alcotest.check
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let tiny =
+  Machine.make
+    { Ordo_util.Topology.name = "sched"; sockets = 2; cores_per_socket = 4; smt = 1; ghz = 2.0 }
+    ~noise_prob:0.0 ~core_jitter_ns:0
+
+(* ---- deque vs a sequential model ---- *)
+
+module D = Ordo_sched.Deque.Make (RealR)
+
+(* Ops encoded as small ints so the generator shrinks well: 0-5 push a
+   fresh value, 6-7 pop (owner end), 8-9 steal (thief end).  The model is
+   a list in push order (head = top = oldest). *)
+let deque_model =
+  qtest ~count:200 "deque matches the sequential model"
+    QCheck2.Gen.(list_size (int_range 0 120) (int_range 0 9))
+    (fun ops ->
+      let d = D.create ~capacity:2 () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op <= 5 then begin
+            let v = !next in
+            incr next;
+            D.push d ~stamp:v v;
+            model := !model @ [ v ]
+          end
+          else if op <= 7 then begin
+            let want =
+              match List.rev !model with
+              | [] -> None
+              | x :: rest ->
+                model := List.rev rest;
+                Some x
+            in
+            if D.pop d <> want then ok := false
+          end
+          else begin
+            let want =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                model := rest;
+                Some x
+            in
+            if D.steal d <> want then ok := false
+          end)
+        ops;
+      !ok && D.size d = List.length !model)
+
+let test_deque_last_stamp () =
+  let d = D.create () in
+  check Alcotest.int "initial stamp" 0 (D.last_stamp d);
+  D.push d ~stamp:41 "a";
+  D.push d ~stamp:97 "b";
+  check Alcotest.int "last push wins" 97 (D.last_stamp d);
+  check Alcotest.(option string) "lifo pop" (Some "b") (D.pop d);
+  check Alcotest.(option string) "fifo steal" (Some "a") (D.steal d)
+
+(* Three real-domain thieves against one pushing/popping owner.  Chase–Lev
+   linearizes successful steals on the monotone [top] counter, so with
+   values pushed in increasing order every thief's haul must be strictly
+   increasing (a subsequence of push order), the owner's pops strictly
+   decreasing (bottom end), and the union an exact partition. *)
+let test_deque_real_thieves () =
+  let n = 2000 in
+  let d = D.create ~capacity:4 () in
+  let got = Array.make 4 [] in
+  let finished = Atomic.make false in
+  Ordo_runtime.Real.run ~threads:4 (fun i ->
+      if i = 0 then begin
+        for v = 0 to n - 1 do
+          D.push d ~stamp:v v
+        done;
+        let rec drain acc =
+          match D.pop d with
+          | Some v -> drain (v :: acc)
+          | None -> acc
+        in
+        got.(0) <- List.rev (drain []);
+        Atomic.set finished true
+      end
+      else begin
+        let mine = ref [] in
+        while not (Atomic.get finished) do
+          match D.steal d with
+          | Some v -> mine := v :: !mine
+          | None -> RealR.pause ()
+        done;
+        got.(i) <- List.rev !mine
+      end);
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "owner pops decreasing" true (decreasing got.(0));
+  for i = 1 to 3 do
+    check Alcotest.bool "thief haul increasing" true (increasing got.(i))
+  done;
+  let all = List.concat [ got.(0); got.(1); got.(2); got.(3) ] in
+  check Alcotest.int "nothing lost, nothing duplicated" n (List.length all);
+  check Alcotest.(list int) "exact partition of pushes" (List.init n Fun.id)
+    (List.sort compare all)
+
+(* ---- pool on the simulator ----
+
+   A fixed 1000 ns boundary is fine for the functional tests — any value
+   keeps [after] total; only the checker test needs the measured one. *)
+
+let test_pool_fork_join_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = 1_000 end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  let vals =
+    P.run ~workers:4 (fun pool ->
+        P.fork_join pool (List.init 32 (fun i () -> SimR.work 50; i * i)))
+  in
+  check Alcotest.(list int) "fork_join order and values" (List.init 32 (fun i -> i * i)) vals
+
+let test_pool_nested_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = 1_000 end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  let v =
+    P.run ~workers:4 (fun pool ->
+        let rec fib n =
+          if n < 2 then n
+          else begin
+            let a = P.spawn pool (fun () -> fib (n - 1)) in
+            let b = fib (n - 2) in
+            P.await pool a + b
+          end
+        in
+        fib 12)
+  in
+  check Alcotest.int "nested spawn/await (help-while-awaiting)" 144 v
+
+let test_pool_promise_fulfil_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = 1_000 end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  let v =
+    P.run ~workers:2 (fun pool ->
+        let pr = P.promise pool in
+        ignore (P.spawn pool (fun () -> P.fulfil pool pr 42));
+        P.await pool pr)
+  in
+  check Alcotest.int "externally fulfilled promise" 42 v
+
+let test_pool_certified_order_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = 1_000 end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  let certain, spread =
+    P.run ~workers:4 (fun pool ->
+        let a = P.spawn pool (fun () -> 7) in
+        let b = P.spawn pool (fun () -> P.await pool a * 3) in
+        let bv = P.await pool b in
+        check Alcotest.int "value flowed through" 21 bv;
+        let sa, _ = Option.get (P.resolution a) in
+        let sb, _ = Option.get (P.resolution b) in
+        (P.cmp_resolved a b, sb - sa))
+  in
+  (* b awaited a, so its certified resolution is certainly later — never
+     in-window, whatever the interleaving. *)
+  check Alcotest.int "awaited dependency certainly resolves first" (-1) certain;
+  check Alcotest.bool "stamps separated by more than one boundary" true (spread > 1_000)
+
+let test_pool_stats_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = 1_000 end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  let st =
+    P.run ~workers:4 (fun pool ->
+        ignore (P.fork_join pool (List.init 64 (fun i () -> SimR.work 300; i)) : int list);
+        P.stats pool)
+  in
+  let sum a = Array.fold_left ( + ) 0 a in
+  (* The 64 forked tasks, each executed exactly once.  The root task is
+     still running when it reads the stats, so it is not yet counted. *)
+  check Alcotest.int "every task executed once" 64 (sum st.P.executed);
+  check Alcotest.bool "work spread beyond the spawner" true
+    (Array.length (Array.of_seq (Seq.filter (fun c -> c > 0) (Array.to_seq st.P.executed))) > 1)
+
+let test_pool_trace_checker_sim () =
+  let module E = (val Sim.exec tiny) in
+  let module B = Ordo_core.Boundary.Make (E) in
+  let boundary = B.measure ~runs:10 ~cores:[ 0; 4 ] () in
+  let module O = Ordo_core.Ordo.Make (SimR) (struct let boundary = boundary end) in
+  let module T = Ordo_core.Timestamp.Ordo_source (O) in
+  let module P = Ordo_sched.Pool.Make (E) (T) in
+  Trace.start ();
+  let total =
+    P.run ~workers:6 (fun pool ->
+        let ps = List.init 24 (fun i -> P.spawn pool (fun () -> SimR.work 200; i)) in
+        List.fold_left (fun acc p -> acc + P.await pool p) 0 ps)
+  in
+  let t = Trace.stop () in
+  check Alcotest.int "workload result" (24 * 23 / 2) total;
+  let r = Checker.check ~boundary t in
+  check Alcotest.bool "scheduler trace passes the stock checker" true (Checker.ok r);
+  check Alcotest.bool "resolutions reconstructed as txs" true (r.Checker.committed >= 25);
+  check Alcotest.bool "await edges found" true (r.Checker.edges > 0);
+  let has tag = Trace.find_tag t tag <> None in
+  check Alcotest.bool "sched.resolve events present" true (has Trace.tag_sched_resolve)
+
+(* ---- pool on real domains (kept tiny: CI may have one CPU) ---- *)
+
+let live_workers = 2
+
+let live_setup () =
+  let boundary = Ordo_sched.Live.boundary ~runs:5 ~workers:live_workers () in
+  check Alcotest.bool "boundary clamped above the floor" true (boundary >= 1_000);
+  boundary
+
+let test_pool_live_fork_join () =
+  let boundary = live_setup () in
+  let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  let vals =
+    P.run ~workers:live_workers (fun pool ->
+        P.fork_join pool (List.init 16 (fun i () -> (i * 2) + 1)))
+  in
+  check Alcotest.(list int) "live fork_join" (List.init 16 (fun i -> (i * 2) + 1)) vals
+
+let test_pool_live_certified_trace () =
+  let boundary = live_setup () in
+  let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  Trace.start ();
+  let certain =
+    P.run ~workers:live_workers (fun pool ->
+        let a = P.spawn pool (fun () -> 5) in
+        let b = P.spawn pool (fun () -> P.await pool a + 1) in
+        check Alcotest.int "live chain value" 6 (P.await pool b);
+        P.cmp_resolved a b)
+  in
+  let t = Trace.stop () in
+  check Alcotest.int "live certified order" (-1) certain;
+  let r = Checker.check ~boundary t in
+  check Alcotest.bool "live scheduler trace passes the stock checker" true (Checker.ok r);
+  check Alcotest.bool "live resolutions reconstructed" true (r.Checker.committed >= 3)
+
+let test_pool_live_occ () =
+  let boundary = live_setup () in
+  let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  let module C = Ordo_db.Occ.Make (RealR) (T) in
+  let module X = Ordo_db.Cc_intf.Execute (RealR) (C) in
+  let rows = 8 and per = 50 in
+  let db = C.create ~threads:live_workers ~rows () in
+  P.run ~workers:live_workers (fun pool ->
+      let ps =
+        List.init live_workers (fun w ->
+            P.spawn_on pool ~worker:w (fun () ->
+                for i = 0 to per - 1 do
+                  X.run db (fun tx ->
+                      let k = i mod rows in
+                      C.write tx k (C.read tx k + 1))
+                done))
+      in
+      List.iter (fun p -> P.await pool p) ps);
+  let total =
+    X.run db (fun tx ->
+        let s = ref 0 in
+        for k = 0 to rows - 1 do
+          s := !s + C.read tx k
+        done;
+        !s)
+  in
+  check Alcotest.int "OCC on the live pool loses no increments" (live_workers * per) total;
+  check Alcotest.bool "transactions committed" true (C.stats_commits db >= (live_workers * per) + 1)
+
+let test_pool_live_rmap () =
+  let boundary = live_setup () in
+  let module T = (val Ordo_sched.Live.ordo_source ~boundary ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  let module Rm = Ordo_oplog.Rmap.Logged (RealR) (T) in
+  let pages = 4 and per = 25 in
+  let rm = Rm.create ~threads:live_workers ~pages () in
+  P.run ~workers:live_workers (fun pool ->
+      ignore
+        (P.fork_join pool
+           (List.init pages (fun page () ->
+                for pte = 0 to per - 1 do
+                  Rm.add rm ~page ~pte
+                done))
+          : unit list));
+  check Alcotest.int "rmap (OpLog) on the live pool keeps every mapping" (pages * per)
+    (Rm.total_mappings rm);
+  for page = 0 to pages - 1 do
+    check Alcotest.int "page lookup complete" per (List.length (Rm.lookup rm ~page))
+  done
+
+let test_pool_live_sequencer_baseline () =
+  (* The shared fetch-and-add baseline runs on the same pool unchanged:
+     the scheduler only asks [Timestamp.S] of its clock. *)
+  let module T = (val Ordo_sched.Live.sequencer_source ()) in
+  let module P = Ordo_sched.Pool.Make (Ordo_runtime.Real.Exec) (T) in
+  let vals =
+    P.run ~workers:live_workers (fun pool ->
+        P.fork_join pool (List.init 8 (fun i () -> i + 100)))
+  in
+  check Alcotest.(list int) "sequencer-clocked pool" (List.init 8 (fun i -> i + 100)) vals
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    deque_model;
+    case "deque stamps and ends" test_deque_last_stamp;
+    case "deque: 3 real thieves vs owner" test_deque_real_thieves;
+    case "pool fork_join (sim)" test_pool_fork_join_sim;
+    case "pool nested spawns (sim)" test_pool_nested_sim;
+    case "pool promise/fulfil (sim)" test_pool_promise_fulfil_sim;
+    case "pool certified order (sim)" test_pool_certified_order_sim;
+    case "pool stats (sim)" test_pool_stats_sim;
+    case "pool trace passes checker (sim)" test_pool_trace_checker_sim;
+    case "pool fork_join (live)" test_pool_live_fork_join;
+    case "pool certified trace (live)" test_pool_live_certified_trace;
+    case "OCC on the live pool" test_pool_live_occ;
+    case "rmap/OpLog on the live pool" test_pool_live_rmap;
+    case "sequencer baseline on the pool" test_pool_live_sequencer_baseline;
+  ]

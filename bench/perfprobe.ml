@@ -18,7 +18,16 @@ module Sim = Ordo_sim.Sim
 module R = Ordo_sim.Sim.Runtime
 module Rng = Ordo_util.Rng
 
-type result = { name : string; events : int; wall_s : float; events_per_s : float }
+type result = {
+  name : string;
+  events : int;
+  wall_s : float;
+  events_per_s : float;
+  minor_words_per_event : float;
+      (* Allocation per simulated event — deterministic for a given
+         binary, unlike wall time, so the perf gate can compare it across
+         runs on a loaded 1-CPU CI host. *)
+}
 
 let rmw () =
   let total = ref 0 in
@@ -80,12 +89,15 @@ let run () =
   List.map
     (fun (name, f) ->
       Sim.with_fresh_instance (fun () ->
-          let events = ref 0 and best = ref infinity in
+          let events = ref 0 and best = ref infinity and mw = ref 0.0 in
           for _ = 1 to repetitions do
             let t0 = Unix.gettimeofday () in
+            let w0 = Gc.minor_words () in
             let ev = f () in
+            let w1 = Gc.minor_words () in
             let wall = Unix.gettimeofday () -. t0 in
             events := ev;
+            mw := (w1 -. w0) /. float_of_int ev;
             if wall < !best then best := wall
           done;
           {
@@ -93,5 +105,6 @@ let run () =
             events = !events;
             wall_s = !best;
             events_per_s = float_of_int !events /. !best;
+            minor_words_per_event = !mw;
           }))
     profiles

@@ -1,60 +1,282 @@
-(* The merge order is raw (ts, core) lexicographic by design: ties
-   inside the uncertainty window resolve by core id, as in the original
-   OpLog — see [entry_order]. *)
-[@@@ordo_lint.allow "poly-compare"]
-
 module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
   module Lock = Ordo_runtime.Mcs.Make (R)
 
-  type 'a entry = { ts : int; core : int; op : 'a }
+  (* Per-core logs are chunked arenas, not cons lists: timestamps live in
+     an unboxed int array and payloads beside them, so an append writes
+     two slots and publishes by swinging the core's descriptor — the same
+     one-read-one-CAS protocol (and the same CAS-vs-drain conflict window
+     the race detector certified) as the list version, with the cons cell
+     and per-entry record gone.
+
+     Publication is the CAS itself: [used] lives in the *immutable*
+     descriptor, so a drain that wins the race sees exactly the entries
+     published before its exchange.  The loser's slot write is an orphan
+     one index past the drained [used] — never read, overwritten when the
+     chunk is recycled.  (A mutable fill counter inside the chunk would
+     break this: incremented before a failing CAS it double-counts,
+     incremented after a succeeding one it can be missed.)
+
+     Chunks are free-listed through the descriptor: a drain donates one
+     empty chunk via [spare], so steady-state appending allocates only
+     the 4-word descriptor per entry and nothing per chunk.  Recycled
+     payload slots may retain stale references until overwritten — at
+     most two chunks per core, the usual price of a polymorphic arena. *)
+
+  let chunk_cap = 256
+
+  type 'a chunk = { tss : int array; ops : 'a array }
+
+  type 'a desc = {
+    chunks : 'a chunk list;  (* newest first; all but the head are full *)
+    used : int;  (* filled slots of the head chunk; 0 when [chunks = []] *)
+    spare : 'a chunk option;  (* recycled empty chunk for the next grow *)
+  }
 
   type 'a t = {
-    logs : 'a entry list R.cell array;  (* newest first; one line per core *)
+    logs : 'a desc R.cell array;  (* one line per core *)
     last_ts : int array;  (* per-thread last stamp, thread-private *)
+    recycle : 'a chunk option array;  (* drained chunks, drainer-only (under lock) *)
     lock : Lock.t;
   }
+
+  let empty_desc = { chunks = []; used = 0; spare = None }
 
   let create ~threads () =
     if threads < 1 then invalid_arg "Oplog.create: threads must be >= 1";
     {
-      logs = Array.init threads (fun _ -> R.cell []);
+      logs = Array.init threads (fun _ -> R.cell empty_desc);
       last_ts = Array.make threads 0;
+      recycle = Array.make threads None;
       lock = Lock.create ();
     }
 
-  (* Push must be atomic against [synchronize]'s drain: a plain
-     read-then-write could resurrect entries a concurrent merge already
-     exchanged away (and the race detector flags exactly that).  The CAS
-     compares the list head physically, so an interleaved drain forces a
-     retry. *)
-  let rec push log entry =
-    let old = R.read log in
-    if not (R.cas log old (entry :: old)) then push log entry
+  (* Append must be atomic against [synchronize]'s drain: the CAS compares
+     the descriptor physically, so an interleaved exchange forces a retry
+     (re-reading the fresh descriptor and re-writing the slot there). *)
+  let rec push cell ts op =
+    let d = R.read cell in
+    let d' =
+      match d.chunks with
+      | c :: _ when d.used < chunk_cap ->
+        c.tss.(d.used) <- ts;
+        c.ops.(d.used) <- op;
+        { d with used = d.used + 1 }
+      | _ ->
+        let c =
+          match d.spare with
+          | Some c -> c
+          | None -> { tss = Array.make chunk_cap 0; ops = Array.make chunk_cap op }
+        in
+        c.tss.(0) <- ts;
+        c.ops.(0) <- op;
+        { chunks = c :: d.chunks; used = 1; spare = None }
+    in
+    if not (R.cas cell d d') then push cell ts op
 
   let append t op =
     let core = R.tid () in
     let ts = T.after t.last_ts.(core) in
     t.last_ts.(core) <- ts;
-    push t.logs.(core) { ts; core; op };
+    push t.logs.(core) ts op;
     R.probe "oplog.append" ts core
 
-  (* Ascending (ts, core): ties inside the uncertainty window resolve by
-     core id, as in the original design for equal timestamps. *)
-  let entry_order a b =
-    let c = compare a.ts b.ts in
-    if c <> 0 then c else compare a.core b.core
+  (* The merged order is ascending (ts, core) — ties inside the
+     uncertainty window resolve by core id, as in the original OpLog —
+     and equal stamps on one core apply in append order.  That is exactly
+     what the old stable [List.sort] over the concatenated logs produced:
+     cross-core key ties are impossible (the core id is in the key), so
+     only within-core order ever fell back to input order. *)
+
+  (* One drained core, presented oldest-entry-first. *)
+  let flatten d =
+    let chunks = Array.of_list (List.rev d.chunks) in
+    let n = Array.length chunks in
+    let total = if n = 0 then 0 else ((n - 1) * chunk_cap) + d.used in
+    (chunks, total)
+
+  (* Per-core timestamp sequences are ascending for any well-behaved
+     source ([T.after] returns something newer than its argument), but
+     [Timestamp.Raw] ignores its argument and reads the hardware clock,
+     which under a fault scenario can step backwards — so sortedness is a
+     property to check, not assume.  Sorted cores take the k-way merge;
+     any violation falls back to an index sort with the same order. *)
+  let core_sorted chunks total =
+    let ok = ref true in
+    let prev = ref min_int in
+    let i = ref 0 in
+    while !ok && !i < total do
+      let ts = chunks.(!i / chunk_cap).tss.(!i mod chunk_cap) in
+      (* Deliberate total order on the raw stamps — the merge reproduces
+         the old [List.sort] exactly, so a qualified integer compare, not
+         an uncertainty-aware one. *)
+      if Int.compare ts !prev < 0 then ok := false;
+      prev := ts;
+      incr i
+    done;
+    !ok
 
   let synchronize t ~apply =
     Lock.with_lock t.lock @@ fun () ->
     R.span_begin "oplog.merge";
-    let drained = Array.map (fun log -> R.exchange log []) t.logs in
-    let merged =
-      Array.fold_left (fun acc l -> List.rev_append l acc) [] drained
-      |> List.sort entry_order
+    let k = Array.length t.logs in
+    (* Drain every core in index order (one exchange per core, as
+       before), donating last cycle's recycled chunk as the new spare. *)
+    let drained = Array.make k empty_desc in
+    for core = 0 to k - 1 do
+      let fresh =
+        match t.recycle.(core) with
+        | None -> empty_desc
+        | Some _ as spare ->
+          t.recycle.(core) <- None;
+          { chunks = []; used = 0; spare }
+      in
+      drained.(core) <- R.exchange t.logs.(core) fresh
+    done;
+    let flat = Array.map flatten drained in
+    let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 flat in
+    let sorted =
+      let ok = ref true in
+      Array.iter (fun (chunks, n) -> if not (core_sorted chunks n) then ok := false) flat;
+      !ok
     in
-    List.iter apply merged;
+    if total > 0 then begin
+      if sorted then begin
+        (* K-way merge over the per-core cursors via an index heap keyed
+           (ts, core): O(log k) int comparisons per entry, no per-entry
+           allocation, no re-sorting of what each core already ordered. *)
+        let hts = Array.make k 0 and hcore = Array.make k 0 in
+        let hn = ref 0 in
+        let cursor = Array.make k 0 in
+        let[@inline] ts_at core i =
+          let chunks, _ = flat.(core) in
+          chunks.(i / chunk_cap).tss.(i mod chunk_cap)
+        in
+        let sift_down () =
+          let i = ref 0 in
+          let continue = ref true in
+          while !continue do
+            let l = (2 * !i) + 1 in
+            if l >= !hn then continue := false
+            else begin
+              let s = ref l in
+              let r = l + 1 in
+              if
+                r < !hn
+                && (hts.(r) < hts.(l) || (hts.(r) = hts.(l) && hcore.(r) < hcore.(l)))
+              then s := r;
+              if
+                hts.(!s) < hts.(!i)
+                || (hts.(!s) = hts.(!i) && hcore.(!s) < hcore.(!i))
+              then begin
+                let tt = hts.(!i) and tc = hcore.(!i) in
+                hts.(!i) <- hts.(!s);
+                hcore.(!i) <- hcore.(!s);
+                hts.(!s) <- tt;
+                hcore.(!s) <- tc;
+                i := !s
+              end
+              else continue := false
+            end
+          done
+        in
+        for core = 0 to k - 1 do
+          let _, n = flat.(core) in
+          if n > 0 then begin
+            let ts = ts_at core 0 in
+            let i = ref !hn in
+            incr hn;
+            while
+              !i > 0
+              &&
+              let p = (!i - 1) / 2 in
+              let c = Int.compare ts hts.(p) in
+              c < 0 || (c = 0 && core < hcore.(p))
+            do
+              let p = (!i - 1) / 2 in
+              hts.(!i) <- hts.(p);
+              hcore.(!i) <- hcore.(p);
+              i := p
+            done;
+            hts.(!i) <- ts;
+            hcore.(!i) <- core
+          end
+        done;
+        while !hn > 0 do
+          let core = hcore.(0) in
+          let chunks, n = flat.(core) in
+          let i = cursor.(core) in
+          apply ~ts:hts.(0) ~core chunks.(i / chunk_cap).ops.(i mod chunk_cap);
+          let i = i + 1 in
+          cursor.(core) <- i;
+          if i < n then hts.(0) <- ts_at core i
+          else begin
+            decr hn;
+            hts.(0) <- hts.(!hn);
+            hcore.(0) <- hcore.(!hn)
+          end;
+          sift_down ()
+        done
+      end
+      else begin
+        (* Some core's stamps went backwards (clock-fault scenario):
+           materialize (ts, core, position) and sort indices with plain
+           int comparisons.  Position breaks only within-core key ties,
+           reproducing the stable sort's append-order behavior. *)
+        let ats = Array.make total 0 and acore = Array.make total 0 in
+        let pos = ref 0 in
+        Array.iteri
+          (fun core (chunks, n) ->
+            for i = 0 to n - 1 do
+              ats.(!pos) <- chunks.(i / chunk_cap).tss.(i mod chunk_cap);
+              acore.(!pos) <- core;
+              incr pos
+            done)
+          flat;
+        let idx = Array.init total (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            let c = Int.compare ats.(a) ats.(b) in
+            if c <> 0 then c
+            else
+              let c = Int.compare acore.(a) acore.(b) in
+              if c <> 0 then c else Int.compare a b)
+          idx;
+        (* Per-core running offsets recover each index's chunk slot. *)
+        let base = Array.make k 0 in
+        let acc = ref 0 in
+        Array.iteri
+          (fun core (_, n) ->
+            base.(core) <- !acc;
+            acc := !acc + n)
+          flat;
+        Array.iter
+          (fun j ->
+            let core = acore.(j) in
+            let chunks, _ = flat.(core) in
+            let i = j - base.(core) in
+            apply ~ts:ats.(j) ~core chunks.(i / chunk_cap).ops.(i mod chunk_cap))
+          idx
+      end;
+      (* Recycle one empty chunk per core for the next cycle: the unused
+         spare if the writers never consumed it, else the head chunk. *)
+      for core = 0 to k - 1 do
+        match drained.(core).spare with
+        | Some _ as s -> t.recycle.(core) <- s
+        | None -> (
+          match drained.(core).chunks with
+          | c :: _ -> t.recycle.(core) <- Some c
+          | [] -> ())
+      done
+    end;
     R.span_end "oplog.merge";
-    List.length merged
+    total
 
-  let pending t = Array.fold_left (fun acc log -> acc + List.length (R.read log)) 0 t.logs
+  let pending t =
+    Array.fold_left
+      (fun acc log ->
+        let d = R.read log in
+        match d.chunks with
+        | [] -> acc
+        | _ :: rest -> acc + (List.length rest * chunk_cap) + d.used)
+      0 t.logs
 end

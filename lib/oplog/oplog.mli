@@ -19,17 +19,17 @@
 module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : sig
   type 'a t
 
-  type 'a entry = { ts : int; core : int; op : 'a }
-
   val create : threads:int -> unit -> 'a t
 
   val append : 'a t -> 'a -> unit
   (** Log an operation on the calling thread's core, stamped with a
       timestamp newer than the log's previous entry. *)
 
-  val synchronize : 'a t -> apply:('a entry -> unit) -> int
+  val synchronize : 'a t -> apply:(ts:int -> core:int -> 'a -> unit) -> int
   (** Drain every per-core log under the object lock and apply the merged
-      operations in [(ts, core)] order; returns how many were applied. *)
+      operations in [(ts, core)] order (equal stamps on one core in
+      append order); returns how many were applied.  [apply] receives
+      the stamp and core directly — no per-entry record exists. *)
 
   val pending : 'a t -> int
   (** Total operations currently logged (approximate, unlocked). *)

@@ -90,9 +90,9 @@ module Logged (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) : S 
   let add_all t pairs = Array.iter (fun (page, pte) -> add t ~page ~pte) pairs
   let remove_all t pairs = Array.iter (fun (page, pte) -> remove t ~page ~pte) pairs
 
-  let apply t (e : op Log.entry) =
+  let apply t ~ts:_ ~core:_ op =
     R.work apply_work_ns;
-    apply_to t.pages e.Log.op
+    apply_to t.pages op
 
   let lookup t ~page =
     ignore (Log.synchronize t.log ~apply:(apply t) : int);

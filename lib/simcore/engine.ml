@@ -17,6 +17,12 @@ type line = {
 
 type 'a cell = { mutable v : 'a; line : line }
 
+(* A queued event is just a thread record: the parked fiber's continuation
+   and resume value are stored in the record itself ([ev_k]/[ev_v], via
+   [Obj] — the pairing is re-established at the single dispatch site), so
+   parking a fiber writes two fields and resuming it allocates nothing.
+   One-shot events with no fiber (thread start, hazard fire) are pseudo
+   threads whose [thunk] flag routes dispatch to a stored closure. *)
 type thread = {
   id : int;
   mutable time : int;
@@ -24,21 +30,16 @@ type thread = {
   mutable finished : bool;
   smt_factor : float;  (* compute slowdown from co-resident SMT threads *)
   reset : int;  (* invariant-clock start offset of this core *)
+  mutable thunk : bool;  (* next dispatch runs [ev_k] as a [unit -> unit] *)
+  mutable ev_k : Obj.t;  (* parked continuation, or the start/fire closure *)
+  mutable ev_v : Obj.t;  (* value to resume the parked continuation with *)
 }
 
 type stats = { events : int; end_vtime : int }
 
-(* Queued events are a closed variant, not closures: the scheduler loop
-   dispatches on the tag and [Resume] carries the parked fiber's
-   continuation directly, so resuming a fiber allocates one small block at
-   park time and nothing at dispatch time. *)
-type event =
-  | Thunk of (unit -> unit)  (* thread start, hazard fire *)
-  | Resume : thread * ('a, unit) Effect.Deep.continuation * 'a -> event
-
 type t = {
   machine : Machine.t;
-  queue : event Heap.t;
+  queue : thread Equeue.t;
   rng : Rng.t;
   base : int;  (* timeline value at which this run started *)
   epoch : int;  (* globally unique id of this run, for lazy line reset *)
@@ -199,9 +200,9 @@ let cell v =
 let line_id c = c.line.lid
 
 (* The earliest queued event: a thread must not run past it directly.
-   [Heap.next_time] is allocation-free — this check runs once per
+   [Equeue.next_time] is allocation-free — this check runs once per
    operation. *)
-let[@inline] horizon eng = Heap.next_time eng.queue
+let[@inline] horizon eng = Equeue.next_time eng.queue
 
 (* Finish an operation that completes at [completion]: advance the local
    clock directly when no other thread could act first, otherwise park the
@@ -325,7 +326,11 @@ let exclusive_completion eng th line ~exec_ns =
   sharer_clear line.sharers;
   completion
 
-let scale th ns = int_of_float (float_of_int ns *. th.smt_factor)
+(* SMT scaling is the identity when the thread has its core to itself —
+   the common case — and [int_of_float (float_of_int ns *. 1.0) = ns]
+   exactly, so the fast path changes no timestamp. *)
+let[@inline] scale th ns =
+  if th.smt_factor = 1.0 then ns else int_of_float (float_of_int ns *. th.smt_factor)
 
 (* ---- operations ---- *)
 
@@ -515,7 +520,9 @@ let fiber eng th fn =
               (fun (k : (a, unit) continuation) ->
                 let completion = th.park in
                 th.time <- completion;
-                Heap.push eng.queue ~time:completion (Resume (th, k, v)))
+                th.ev_k <- Obj.repr k;
+                th.ev_v <- Obj.repr v;
+                Equeue.push eng.queue ~time:completion th)
           | _ -> None);
     }
 
@@ -542,13 +549,37 @@ let run ?scenario machine jobs =
   let hazard =
     Option.map (fun s -> Hazard.compile ~epoch:clock_epoch ~base machine s) scenario
   in
+  (* One-shot pseudo thread carrying a closure: thread start, hazard fire. *)
+  let thunk_event fn =
+    {
+      id = -1;
+      time = base;
+      park = base;
+      finished = false;
+      smt_factor = 1.0;
+      reset = 0;
+      thunk = true;
+      ev_k = Obj.repr (fn : unit -> unit);
+      ev_v = Obj.repr ();
+    }
+  in
   let dummy =
-    { id = -1; time = base; park = base; finished = false; smt_factor = 1.0; reset = 0 }
+    {
+      id = -1;
+      time = base;
+      park = base;
+      finished = false;
+      smt_factor = 1.0;
+      reset = 0;
+      thunk = false;
+      ev_k = Obj.repr ();
+      ev_v = Obj.repr ();
+    }
   in
   let eng =
     {
       machine;
-      queue = Heap.create ();
+      queue = Equeue.create ();
       rng = Rng.create ~seed:machine.Machine.seed ();
       base;
       epoch = Atomic.fetch_and_add epoch_counter 1;
@@ -569,9 +600,8 @@ let run ?scenario machine jobs =
   | Some h ->
     List.iter
       (fun (f : Hazard.fire) ->
-        Heap.push eng.queue ~time:f.at
-          (Thunk
-             (fun () ->
+        Equeue.push eng.queue ~time:f.at
+          (thunk_event (fun () ->
                f.Hazard.apply ();
                if f.at > eng.max_vtime then eng.max_vtime <- f.at;
                if eng.trace then
@@ -590,14 +620,19 @@ let run ?scenario machine jobs =
           +. (machine.Machine.smt_slowdown
              *. float_of_int (lanes.(Topology.physical_of topo hw) - 1));
         reset = Machine.clock_reset_ns machine hw;
+        thunk = true;
+        ev_k = Obj.repr ();
+        ev_v = Obj.repr ();
       }
     in
+    (* The thread's first event runs its start closure; every later event
+       on this record is a parked continuation ([thunk] flips at the first
+       dispatch and never comes back). *)
+    th.ev_k <- Obj.repr (fun () ->
+        eng.cur <- th;
+        fiber eng th fn);
     eng.threads <- th :: eng.threads;
-    Heap.push eng.queue ~time:base
-      (Thunk
-         (fun () ->
-           eng.cur <- th;
-           fiber eng th fn))
+    Equeue.push eng.queue ~time:base th
   in
   List.iter start jobs;
   inst.running <- Some eng;
@@ -605,13 +640,21 @@ let run ?scenario machine jobs =
     ~finally:(fun () -> inst.running <- None)
     (fun () ->
       let queue = eng.queue in
-      while not (Heap.is_empty queue) do
+      while not (Equeue.is_empty queue) do
         eng.n_events <- eng.n_events + 1;
-        match Heap.pop_exn queue with
-        | Thunk f -> f ()
-        | Resume (th, k, v) ->
+        let th = Equeue.pop_exn queue in
+        if th.thunk then begin
+          th.thunk <- false;
+          (Obj.obj th.ev_k : unit -> unit) ()
+        end
+        else begin
           eng.cur <- th;
-          Effect.Deep.continue k v
+          let k : (Obj.t, unit) Effect.Deep.continuation = Obj.obj th.ev_k in
+          (* [ev_v] holds the [Obj.repr] of the value the continuation
+             expects; passing it back through the [Obj.t]-typed view is
+             the identity at runtime. *)
+          Effect.Deep.continue k th.ev_v
+        end
       done);
   (* Thread clocks only move forward, so each final [time] is that
      thread's maximum — folding here replaces a compare on every call to

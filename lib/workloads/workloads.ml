@@ -106,7 +106,7 @@ let oplog_workload ~report ?scenario machine ts ~threads ~dur =
           Oplog.append log (i, !n);
           incr n;
           if i = 0 && !n mod 64 = 0 then
-            applied := !applied + Oplog.synchronize log ~apply:(fun _ -> ())
+            applied := !applied + Oplog.synchronize log ~apply:(fun ~ts:_ ~core:_ _ -> ())
         done)
   in
   if report then Report.kv "merged entries" (string_of_int !applied);

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("heap", Test_heap.suite);
+      ("equeue", Test_equeue.suite);
       ("sharers", Test_sharers.suite);
       ("pool", Test_pool.suite);
       ("clock", Test_clock.suite);

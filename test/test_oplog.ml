@@ -27,7 +27,8 @@ let test_single_thread_order () =
          Log.append log "a";
          Log.append log "b";
          Log.append log "c";
-         ignore (Log.synchronize log ~apply:(fun e -> applied := e.Log.op :: !applied))));
+         ignore
+           (Log.synchronize log ~apply:(fun ~ts:_ ~core:_ op -> applied := op :: !applied))));
   Alcotest.(check (list string)) "applied in append order" [ "a"; "b"; "c" ] (List.rev !applied)
 
 let test_pending_and_drain () =
@@ -36,9 +37,9 @@ let test_pending_and_drain () =
   Log.append log 1;
   Log.append log 2;
   Alcotest.(check int) "pending counts" 2 (Log.pending log);
-  Alcotest.(check int) "synchronize applies all" 2 (Log.synchronize log ~apply:(fun _ -> ()));
+  Alcotest.(check int) "synchronize applies all" 2 (Log.synchronize log ~apply:(fun ~ts:_ ~core:_ _ -> ()));
   Alcotest.(check int) "drained" 0 (Log.pending log);
-  Alcotest.(check int) "second merge empty" 0 (Log.synchronize log ~apply:(fun _ -> ()))
+  Alcotest.(check int) "second merge empty" 0 (Log.synchronize log ~apply:(fun ~ts:_ ~core:_ _ -> ()))
 
 (* Causal pair: core 0 (early socket, clock ~1000 ns ahead) appends
    [`First], then rings a bell; core 2 (late socket, clock behind) appends
@@ -65,7 +66,7 @@ let causal_experiment (module T : Ordo_core.Timestamp.S) ~extra_delay_ns =
              R.work extra_delay_ns;
              Log.append log `Second );
        ]);
-  ignore (Log.synchronize log ~apply:(fun e -> entries := (e.Log.op, e.Log.ts) :: !entries));
+  ignore (Log.synchronize log ~apply:(fun ~ts ~core:_ op -> entries := (op, ts) :: !entries));
   List.rev !entries
 
 let test_raw_clock_misorders () =
@@ -109,14 +110,102 @@ let test_merge_total_and_per_core_order () =
          done));
   let seen = Array.make threads (-1) in
   let count = ref 0 in
-  let apply e =
-    let core, j = e.Log.op in
+  let apply ~ts:_ ~core:_ (core, j) =
     incr count;
     if j <> seen.(core) + 1 then Alcotest.failf "per-core order broken at %d,%d" core j;
     seen.(core) <- j
   in
   ignore (Log.synchronize log ~apply);
   Alcotest.(check int) "all entries merged" (threads * per) !count
+
+(* Observational equivalence with the pre-arena implementation (per-core
+   cons lists + one stable [List.sort] by [(ts, core)]).  The apply
+   sequence must be (a) non-decreasing in [(ts, core)] and (b) project
+   per core to exactly the append order — together those pin the
+   sequence to the old output uniquely.  Sized to span several arena
+   chunks per core so the k-way merge crosses chunk seams. *)
+let test_merge_matches_list_reference () =
+  let module Log = Ordo_oplog.Oplog.Make (R) (Ordo_ts) in
+  let threads = 4 and per = 700 in
+  let log = Log.create ~threads () in
+  ignore
+    (Sim.run skewed ~threads (fun i ->
+         for j = 0 to per - 1 do
+           Log.append log (i, j)
+         done));
+  let out = ref [] in
+  let n =
+    Log.synchronize log ~apply:(fun ~ts ~core (i, j) -> out := (ts, core, i, j) :: !out)
+  in
+  let out = List.rev !out in
+  Alcotest.(check int) "all entries applied" (threads * per) n;
+  List.iter
+    (fun (_, core, i, _) ->
+      if core <> i then Alcotest.failf "core tag %d disagrees with payload origin %d" core i)
+    out;
+  let rec sorted = function
+    | (ts1, c1, _, _) :: ((ts2, c2, _, _) :: _ as rest) ->
+      if ts1 > ts2 || (ts1 = ts2 && c1 > c2) then false else sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by (ts, core)" true (sorted out);
+  let next = Array.make threads 0 in
+  List.iter
+    (fun (_, _, i, j) ->
+      if j <> next.(i) then Alcotest.failf "core %d applied %d, expected %d" i j next.(i);
+      next.(i) <- j + 1)
+    out
+
+(* A deliberately non-monotone stamp source: [after] walks a fixed
+   pseudo-random cycle, so per-core runs are NOT ascending and
+   [synchronize] must take its index-sort fallback (the old list code
+   sorted unconditionally, so its output shape is the same).  The small
+   range forces cross-core stamp collisions, exercising both tie-break
+   levels. *)
+module Jumpy : Ordo_core.Timestamp.S = struct
+  let name = "jumpy"
+  let boundary = 0
+  let state = ref 12345
+  let get () = !state
+
+  let advance () =
+    state := ((!state * 1103515245) + 12345) land 0xFFFF;
+    !state
+
+  let after _ = advance ()
+  let cmp = Int.compare
+end
+
+let test_merge_fallback_non_monotone_stamps () =
+  let module Log = Ordo_oplog.Oplog.Make (R) (Jumpy) in
+  let threads = 3 and per = 300 in
+  let log = Log.create ~threads () in
+  ignore
+    (Sim.run skewed ~threads (fun i ->
+         for j = 0 to per - 1 do
+           Log.append log (i, j)
+         done));
+  let out = ref [] in
+  let n =
+    Log.synchronize log ~apply:(fun ~ts ~core (i, j) -> out := (ts, core, i, j) :: !out)
+  in
+  let out = List.rev !out in
+  Alcotest.(check int) "all entries applied" (threads * per) n;
+  (* Rebuild the core-major flattened list the old code sorted (stamps
+     recovered from the output via each entry's unique payload), stable
+     sort it, and demand the exact same sequence. *)
+  let reference =
+    List.stable_sort
+      (fun (ts1, c1, _, j1) (ts2, c2, _, j2) ->
+        match compare (ts1 : int) ts2 with
+        | 0 -> ( match compare (c1 : int) c2 with 0 -> compare (j1 : int) j2 | c -> c)
+        | c -> c)
+      (List.sort
+         (fun (_, c1, _, j1) (_, c2, _, j2) ->
+           match compare (c1 : int) c2 with 0 -> compare (j1 : int) j2 | c -> c)
+         out)
+  in
+  Alcotest.(check bool) "merge = stable sort of core-major list" true (out = reference)
 
 (* ---- rmap ---- *)
 
@@ -296,6 +385,8 @@ let suite =
     ("ordo flags uncertainty", `Quick, test_ordo_flags_uncertainty);
     ("ordo certain beyond boundary", `Quick, test_ordo_certain_beyond_boundary);
     ("merge total + per-core order", `Quick, test_merge_total_and_per_core_order);
+    ("merge matches list reference", `Quick, test_merge_matches_list_reference);
+    ("merge fallback on non-monotone stamps", `Quick, test_merge_fallback_non_monotone_stamps);
     ("rmap semantics", `Quick, test_rmap_semantics);
     ("rmap bulk ops", `Quick, test_rmap_bulk);
     ("rmap concurrent balance", `Quick, test_rmap_concurrent_balance);

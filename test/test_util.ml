@@ -17,6 +17,65 @@ let test_rng_deterministic () =
     check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
   done
 
+(* Bit-identity against a straightforward boxed-Int64 xoshiro256** +
+   splitmix64 transcription: the shipped generator unboxes the state into
+   32-bit halves for speed, and this pins every draw — raw stream,
+   bounded ints and unit floats — to the reference semantics, so no
+   seeded workload can drift. *)
+let test_rng_matches_int64_reference () =
+  let splitmix64 state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+  in
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k)) in
+  let rcreate seed =
+    let st = ref seed in
+    let s0 = splitmix64 st in
+    let s1 = splitmix64 st in
+    let s2 = splitmix64 st in
+    let s3 = splitmix64 st in
+    ((ref s0, ref s1), (ref s2, ref s3))
+  in
+  let rnext ((s0, s1), (s2, s3)) =
+    let open Int64 in
+    let result = mul (rotl (mul !s1 5L) 7) 9L in
+    let tmp = shift_left !s1 17 in
+    s2 := logxor !s2 !s0;
+    s3 := logxor !s3 !s1;
+    s1 := logxor !s1 !s2;
+    s0 := logxor !s0 !s3;
+    s2 := logxor !s2 tmp;
+    s3 := rotl !s3 45;
+    result
+  in
+  let seeds = [ 0L; 1L; 42L; Int64.min_int; Int64.max_int; 0x9E3779B97F4A7C15L; -77777L ] in
+  List.iter
+    (fun seed ->
+      let a = Rng.create ~seed () and b = rcreate seed in
+      for i = 1 to 2000 do
+        let x = Rng.next_int64 a and y = rnext b in
+        if x <> y then Alcotest.failf "seed %Ld draw %d: %Lx <> reference %Lx" seed i x y
+      done;
+      let a = Rng.create ~seed () and b = rcreate seed in
+      for i = 1 to 2000 do
+        let x = Rng.int a 1_000_003
+        and y = (Int64.to_int (rnext b) land max_int) mod 1_000_003 in
+        if x <> y then Alcotest.failf "seed %Ld int draw %d: %d <> reference %d" seed i x y
+      done;
+      let a = Rng.create ~seed () and b = rcreate seed in
+      for i = 1 to 2000 do
+        let x = Rng.float a 3.5
+        and y =
+          Int64.to_float (Int64.shift_right_logical (rnext b) 11) /. 9007199254740992.0 *. 3.5
+        in
+        if x <> y then Alcotest.failf "seed %Ld float draw %d: %h <> reference %h" seed i x y
+      done)
+    seeds
+
 let test_rng_seed_changes_stream () =
   let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
   let differs = ref false in
@@ -292,6 +351,7 @@ let test_topology_mapping_invariants =
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng matches int64 reference", `Quick, test_rng_matches_int64_reference);
     ("rng seeds differ", `Quick, test_rng_seed_changes_stream);
     ("rng copy", `Quick, test_rng_copy_independent);
     ("rng split", `Quick, test_rng_split);

@@ -40,6 +40,9 @@ let experiments : (string * string * (full:bool -> unit)) list =
       "Correctness: race-detector verdicts over workloads and seeded fixtures",
       Report.analyze_report );
     ("hazard", "Extension: clock-fault dip and recovery under the guard", Experiments.ext_hazard);
+    ( "mcheck",
+      "Correctness: DPOR model checking, explored vs pruned interleavings",
+      Experiments.mcheck );
     ( "cluster",
       "Cluster: sharded KV, central sequencer vs composed-Ordo timestamps",
       Experiments.cluster );

@@ -11,18 +11,29 @@ module Lint = Ordo_lint_rules.Lint
 
 let skip_dirs = [ "_build"; ".git"; "_opam"; "fixtures" ]
 
-let rec walk path acc =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.fold_left
-         (fun acc entry ->
-           let sub = Filename.concat path entry in
-           if Sys.is_directory sub then
-             if List.mem entry skip_dirs then acc else walk sub acc
-           else if Filename.check_suffix entry ".ml" then sub :: acc
-           else acc)
-         acc
-  else path :: acc
+(* Filesystem problems while walking (an unreadable directory, an entry
+   that vanishes mid-walk, a dangling symlink) are collected and
+   reported, never silently skipped: a lint run that cannot see a file
+   must not claim the tree is clean. *)
+let rec walk path (files, errs) =
+  match Sys.is_directory path with
+  | exception Sys_error e -> (files, e :: errs)
+  | false -> (path :: files, errs)
+  | true -> (
+    match Sys.readdir path with
+    | exception Sys_error e -> (files, e :: errs)
+    | entries ->
+      Array.to_list entries |> List.sort compare
+      |> List.fold_left
+           (fun (files, errs) entry ->
+             let sub = Filename.concat path entry in
+             match Sys.is_directory sub with
+             | exception Sys_error e -> (files, e :: errs)
+             | true -> if List.mem entry skip_dirs then (files, errs) else walk sub (files, errs)
+             | false ->
+               if Filename.check_suffix entry ".ml" then (sub :: files, errs)
+               else (files, errs))
+           (files, errs))
 
 let run roots all_rules quiet =
   let roots = if roots = [] then [ "lib"; "bin"; "bench"; "test" ] else roots in
@@ -31,8 +42,16 @@ let run roots all_rules quiet =
     Printf.eprintf "ordo-lint: no such file or directory: %s\n" missing;
     2
   | [] ->
-    let files = List.concat_map (fun r -> walk r []) roots |> List.sort_uniq compare in
+    let files, walk_errs =
+      List.fold_left (fun acc r -> walk r acc) ([], []) roots
+    in
+    let files = List.sort_uniq compare files in
     let errors = ref 0 and count = ref 0 in
+    List.iter
+      (fun e ->
+        Printf.eprintf "ordo-lint: %s\n" e;
+        incr errors)
+      (List.rev walk_errs);
     List.iter
       (fun file ->
         match Lint.lint_file ~all_rules file with

@@ -4,6 +4,9 @@
 
      dune exec examples/quickstart.exe *)
 
+(* The example's own mailbox is harness plumbing, not the algorithm. *)
+[@@@ordo_lint.allow "atomic-confinement"]
+
 module R = Ordo_runtime.Real.Runtime
 
 let () =

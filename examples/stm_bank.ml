@@ -4,6 +4,9 @@
 
      dune exec examples/stm_bank.exe *)
 
+(* The audit tallies are harness plumbing, not the transactions. *)
+[@@@ordo_lint.allow "atomic-confinement"]
+
 module R = Ordo_runtime.Real.Runtime
 module Ordo = Ordo_core.Ordo.Make (R) (struct let boundary = 276 end)
 module TS = Ordo_core.Timestamp.Ordo_source (Ordo)

@@ -15,7 +15,10 @@ let rule_poly = "poly-compare"
 let rule_cmp_zero = "cmp-zero-equality"
 let rule_raw_clock = "raw-clock-read"
 let rule_raw_get_time = "raw-get-time"
-let rule_ids = [ rule_poly; rule_cmp_zero; rule_raw_clock; rule_raw_get_time ]
+let rule_atomic = "atomic-confinement"
+
+let rule_ids =
+  [ rule_poly; rule_cmp_zero; rule_raw_clock; rule_raw_get_time; rule_atomic ]
 
 (* ---- path scoping ---- *)
 
@@ -37,12 +40,19 @@ let protocol_dirs =
 let substrate_dirs = [ "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/" ]
 let clock_home_dirs = [ "lib/clock/"; "lib/core/" ]
 
+(* The only modules allowed to touch [Atomic] directly: the runtime
+   implementations themselves and the simulator core they delegate to.
+   Everything else goes through a [Runtime_intf.S] parameter, or the
+   model checker and the simulator cannot see the access. *)
+let atomic_home_dirs = [ "lib/runtime/"; "lib/simcore/" ]
+
 let in_scope ~all_rules ~file rule =
   all_rules
   ||
   if rule = rule_poly || rule = rule_cmp_zero then under file protocol_dirs
   else if rule = rule_raw_get_time then under file substrate_dirs
   else if rule = rule_raw_clock then not (under file clock_home_dirs)
+  else if rule = rule_atomic then not (under file atomic_home_dirs)
   else false
 
 (* ---- identifier shape ---- *)
@@ -119,6 +129,12 @@ let clock_read_name = function
 
 let clock_path mods = List.exists (fun m -> m = "Clock" || m = "Tsc" || m = "Host") mods
 
+(* A member of stdlib [Atomic] ([mods_of] lists modules innermost
+   first): [Atomic.get], [Stdlib.Atomic.make], ... *)
+let atomic_path = function
+  | [ "Atomic" ] | [ "Atomic"; "Stdlib" ] -> true
+  | _ -> false
+
 (* ---- the pass ---- *)
 
 type ctx = {
@@ -188,6 +204,13 @@ let check_ident ctx loc lid =
     report ctx loc rule_raw_get_time
       "raw get_time in a substrate: allocate stamps through the Timestamp parameter \
        (T.get / T.after) so the boundary guard and the race detector see them"
+  else if atomic_path mods then
+    report ctx loc rule_atomic
+      (Printf.sprintf
+         "raw '%s' outside lib/runtime and lib/simcore: shared state must go through a \
+          Runtime_intf.S parameter (R.cell / R.read / R.cas ...) so the simulator's cost \
+          model and the Mcheck explorer see every access"
+         (String.concat "." (Longident.flatten lid)))
 
 (* Any bound name mentioning "uncertain" suppresses [cmp-zero-equality]
    in the binding's own expression. *)
@@ -286,9 +309,13 @@ let lint_source ?(all_rules = false) ~file source =
            if c <> 0 then c else compare a.col b.col)
          ctx.c_diags)
 
+(* Any read failure — missing file, permission, a directory path — must
+   surface as [Error], never as a silently-skipped file: the driver
+   turns these into exit 2. *)
 let lint_file ?all_rules path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error e -> Error e
+  | exception exn -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string exn))
   | source -> lint_source ?all_rules ~file:path source
 
 let pp_diagnostic d = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg

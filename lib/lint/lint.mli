@@ -31,10 +31,20 @@
       stamps through it ([T.get]/[T.after]), or the detector and the
       guard never see the stamp.
 
+    - [atomic-confinement] — a direct member of stdlib [Atomic]
+      ([Atomic.make], [Atomic.get], [Stdlib.Atomic.compare_and_set],
+      ...) outside [lib/runtime] and [lib/simcore].  Every algorithm in
+      this tree is a functor over [Runtime_intf.S]; shared state that
+      bypasses the [R.cell]/[R.read]/[R.cas] surface is invisible to the
+      simulator's cost model {e and} to the [Mcheck] DPOR explorer, so
+      it is exactly the state the correctness tooling cannot check.
+
     A file opts out of specific rules with a floating attribute, e.g.
     [[@@@ordo_lint.allow "poly-compare"]] — used where raw ordering is
     the documented design (TicToc's [wts]/[rts], oplog's merge
-    tie-break) and in live-host clock tooling. *)
+    tie-break), in live-host clock tooling, and at the few justified
+    [Atomic] sites (the trace sink's sequence counter, harness-level
+    flags in benches and tests). *)
 
 type diagnostic = {
   file : string;

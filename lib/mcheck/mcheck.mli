@@ -1,0 +1,208 @@
+(** Systematic concurrency checking for the lock-free layer.
+
+    [Mcheck] is a third implementation of {!Ordo_runtime.Runtime_intf.S}:
+    cooperative effect-based threads under a controlling scheduler, where
+    every shared-memory operation ([read]/[write]/[cas]/[fetch_add]/
+    [exchange]/[fence]) and every [pause] is a scheduling point.  A
+    depth-first explorer replays the program once per interleaving —
+    OCaml continuations are one-shot, so each interleaving re-executes
+    the program from scratch under a recorded schedule prefix — and
+    prunes with dynamic partial-order reduction (Flanagan–Godefroid
+    backtrack sets over vector-clock happens-before, plus sleep sets), so
+    only interleavings that differ in the order of {e conflicting}
+    accesses are explored.  Because every algorithm in this tree is a
+    functor over [Runtime_intf.S], the real [Spinlock], [Mcs], [Barrier],
+    [Deque], [Oplog] and [Guard] code is checked unchanged.
+
+    {2 Spin loops and fairness}
+
+    Unbounded spin loops ([while R.read c do R.pause () done]) have
+    infinite interleaving spaces under an adversarial scheduler.  The
+    explorer therefore gives [pause] CHESS-style fair-yield semantics: a
+    paused thread is not runnable again until every other unfinished,
+    unblocked thread has taken at least one step.  Spins of a terminating
+    algorithm then take finitely many turns, and exploration is exhaustive
+    {e modulo that fairness assumption} — schedules that starve a spinning
+    thread forever are excluded, which is exactly the assumption the live
+    substrate's OS scheduler provides.  If every unfinished thread is
+    pause-blocked at once, all are released; more than [spin_bound]
+    pauses per thread without a single write anywhere is reported as a
+    livelock/deadlock violation.
+
+    {2 Ordo semantics}
+
+    [get_time] returns the global step counter plus a configurable
+    per-thread skew, so "step order" is ground-truth real time and skew is
+    the hazard: with [skew <= boundary], a [cmp_time] verdict of certainly
+    before/after must agree with step order in {e every} interleaving
+    (checked by {!Stamps.ordo_consistent}); with [skew > boundary] it must
+    not — the standard negative test. *)
+
+(** {1 The controlled runtime} *)
+
+module Runtime : Ordo_runtime.Runtime_intf.S
+(** Valid only inside a {!check} callback (threads of the current
+    replay); calling it elsewhere raises. *)
+
+(** {1 Configuration} *)
+
+type mode =
+  | Dpor  (** DPOR + sleep sets: sound and complete under the fairness
+              assumption, explores a reduced set of interleavings. *)
+  | Exhaustive  (** every interleaving, no pruning: the oracle the DPOR
+                    mode is tested against, and the honest denominator of
+                    the pruning-factor tables.  Tiny targets only. *)
+  | Bounded of int  (** DFS restricted to schedules with at most [n]
+                        preemptions (context switches at a point where
+                        the running thread was still enabled).  Unsound
+                        in general — the budget is logged in {!stats} —
+                        but finds most bugs at [n <= 2]. *)
+
+type config = {
+  mode : mode;
+  max_interleavings : int;  (** give up (→ [Budget_exceeded]) beyond this *)
+  max_steps : int;  (** per-interleaving step cap (runaway guard) *)
+  spin_bound : int;  (** writeless pauses per thread before a livelock verdict *)
+  skew : int array;  (** [skew.(tid mod len)] is added to [get_time] *)
+  seed : int;  (** rotates default thread choice; determinism tests vary it *)
+}
+
+val default : config
+(** [Dpor], 2_000_000 interleavings, 100_000 steps, spin bound 64, zero
+    skew, seed 0. *)
+
+(** {1 Results} *)
+
+type stats = {
+  interleavings : int;  (** maximal executions run to completion *)
+  steps_total : int;  (** scheduling points executed, all replays *)
+  sleep_pruned : int;  (** executions cut early as sleep-set redundant *)
+  budget_pruned : int;  (** branches dropped by a [Bounded] budget *)
+  max_depth : int;  (** longest execution, in steps *)
+  preemption_bound : int option;  (** the logged budget, [Bounded] only *)
+}
+
+(** One scheduling point of a counterexample schedule. *)
+type step = {
+  s_tid : int;
+  s_kind : string;  (** ["read"], ["write"], ["cas"], ... *)
+  s_cell : int;  (** cell id, [-1] for fence/pause *)
+}
+
+type violation = {
+  reason : string;  (** which property failed, or the livelock verdict *)
+  schedule : step array;  (** minimal failing interleaving, shrunk *)
+  pretty : string;  (** deterministic one-line-per-step rendering *)
+  switches : int;  (** context switches in [schedule] *)
+}
+
+type outcome =
+  | Verified of stats
+  | Violation of violation * stats
+  | Budget_exceeded of stats
+
+val check :
+  ?config:config ->
+  init:(unit -> 'state) ->
+  threads:('state -> unit) list ->
+  prop:('state -> bool) ->
+  unit ->
+  outcome
+(** [check ~init ~threads ~prop ()] explores the interleavings of
+    [threads] (each applied to the ['state] made by a fresh [init] per
+    replay).  Cells, locks and generative timestamp functors must be
+    allocated inside [init] (or inside the thread bodies) so each replay
+    starts from the same initial state.  [prop] is evaluated on the final
+    state of every maximal interleaving; a [false] verdict, an exception
+    escaping a thread, or a livelock yields a [Violation] whose schedule
+    has been greedily shrunk to a locally-minimal number of context
+    switches (deterministic: same program + config ⇒ byte-identical
+    [pretty]). *)
+
+val replay :
+  init:(unit -> 'state) ->
+  threads:('state -> unit) list ->
+  schedule:step array ->
+  'state
+(** Re-execute one interleaving under the recorded schedule (excess or
+    disabled entries are skipped, the tail runs non-preemptively) and
+    return the final state.  The returned state is outside the checker
+    context, so only its plain (non-[Runtime.cell]) fields may be
+    inspected; use {!replay_check} to re-evaluate a property that reads
+    cells. *)
+
+val replay_check :
+  ?config:config ->
+  init:(unit -> 'state) ->
+  threads:('state -> unit) list ->
+  prop:('state -> bool) ->
+  schedule:step array ->
+  unit ->
+  string option
+(** Guided replay that re-evaluates the property in context: [Some
+    reason] iff the schedule still produces a violation (property
+    failure, thread exception, or livelock) — used to confirm shrunk
+    counterexamples reproduce. *)
+
+val render_trace :
+  ?config:config ->
+  init:(unit -> 'state) ->
+  threads:('state -> unit) list ->
+  schedule:step array ->
+  unit ->
+  Ordo_trace.Trace.t
+(** Replay a counterexample with an [Ordo_trace] sink installed: every
+    scheduling point is emitted as an ["mcheck.step"] probe (b = cell id,
+    c = kind code) at time = step index, [get_time] reads surface as
+    [Clock_read] events, and the algorithms' own spans/probes flow
+    through unchanged — so the stock offline checker
+    ([Ordo_trace.Checker.check ~boundary]) and the Chrome exporter work
+    on model-checking counterexamples. *)
+
+(** {1 Ordo-aware properties} *)
+
+module Stamps : sig
+  type t
+  (** A per-replay recorder of issued timestamps: allocate in [init],
+      call {!observe} wherever the algorithm under test obtains a stamp.
+      Each observation records [(value, ground-truth issue step, tid)]. *)
+
+  val create : unit -> t
+
+  val observe : t -> int -> unit
+  (** Record a stamp the {e calling thread} obtained from [get_time]:
+      its ground-truth issue step is reconstructed as the value minus
+      the thread's configured skew (the observe call itself may run many
+      steps after the read). *)
+
+  val count : t -> int
+
+  val ordo_consistent : boundary:int -> t -> bool
+  (** The paper's contract as a model-checked property: for every pair of
+      observations, a stamp {e certainly after} another (beyond
+      [boundary], via [Ordo_analyze.Hb.cmp]) was also observed at a
+      strictly later step.  Total over all interleavings, this is
+      "certain [cmp_time] verdicts are real-time order". *)
+
+  val certainly_before : boundary:int -> t -> int -> int -> bool
+  (** [certainly_before ~boundary s i j]: the [i]-th and [j]-th recorded
+      stamps (in observation order) compare certainly-before. *)
+end
+
+module Lin : sig
+  type 'op t
+  (** Complete-history linearizability check against a sequential model:
+      record each finished operation (with its observed result folded
+      into ['op]) at its linearization candidate point; {!check} searches
+      interleavings of the per-thread sequences that the model accepts.
+      Histories are tiny (model-checked scenarios), so the exponential
+      search is fine. *)
+
+  val create : unit -> 'op t
+  val record : 'op t -> 'op -> unit
+
+  val check : 'op t -> init:'m -> step:('m -> 'op -> 'm option) -> bool
+  (** [step m op] is [Some m'] when the sequential model in state [m]
+      accepts [op].  [check] is true iff some interleaving respecting
+      per-thread order is fully accepted. *)
+end

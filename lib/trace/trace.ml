@@ -1,3 +1,9 @@
+(* The sink's sequence counter is infrastructure *below* the runtime
+   abstraction: it must not be a [Runtime_intf] cell, or tracing an
+   algorithm would perturb the very schedule (and Mcheck interleaving
+   space) being observed. *)
+[@@@ordo_lint.allow "atomic-confinement"]
+
 (* Deterministic event sink for the simulator (and, best-effort, the real
    substrate).  Design constraints, in order:
 

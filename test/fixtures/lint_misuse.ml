@@ -43,6 +43,12 @@ let same_epoch a_ts b_ts = compare a_ts b_ts
 (* [cmp-zero-equality]: zero means *uncertain*, never "equal". *)
 let stamps_equal t1 t2 = cmp_time t1 t2 = 0
 
+(* [atomic-confinement]: shared state bypassing the Runtime_intf.S
+   surface — invisible to the simulator's cost model and to Mcheck. *)
+let hidden_counter = Atomic.make 0
+let bump () = Atomic.incr hidden_counter
+let peek () = Stdlib.Atomic.get hidden_counter
+
 (* Correct idioms, for contrast — none of these may fire:
    sentinels are exempt, and an uncertainty *check* binds its result
    under a name that says so. *)

@@ -1,0 +1,31 @@
+(* SEEDED MUTANT — the barrier's last arrival publishes the new
+   generation *before* resetting the counter (the store reordering a
+   missing release fence would permit on hardware; here made explicit by
+   swapping the two stores).
+
+   A waiter released by the early generation store can enter the next
+   round and [fetch_add] the *stale* counter; the last arrival's reset
+   then erases that increment, the round can never complete, and both
+   threads spin forever — mcheck reports the livelock. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) = struct
+  type t = { count : int R.cell; gen : int R.cell; parties : int }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+    { count = R.cell 0; gen = R.cell 0; parties }
+
+  let wait t =
+    let g = R.read t.gen in
+    if R.fetch_add t.count 1 = t.parties - 1 then begin
+      R.write t.gen (g + 1) (* MUTANT: generation released before the reset *)
+      ;
+      R.write t.count 0
+    end
+    else
+      while R.read t.gen = g do
+        R.pause ()
+      done
+
+  let phase t = R.read t.gen
+end

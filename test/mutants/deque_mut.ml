@@ -1,0 +1,95 @@
+(* SEEDED MUTANT — a torn [bottom] update in the Chase–Lev deque.
+
+   Copy of lib/sched/deque.ml with one reordering in [pop]: the owner
+   reads [top] *before* publishing the decremented [bottom].  A thief
+   that runs in that window still sees the old [bottom], judges the
+   deque non-empty, and CASes [top] for the very slot the owner is about
+   to take through the unsynchronized [b > tp] fast path — the element
+   is handed out twice.  Mcheck's deque conservation scenario must kill
+   this; it is the reason the genuine [pop] stores [bottom] first. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) = struct
+  type 'a buf = { mask : int; slots : 'a option R.cell array }
+
+  type 'a t = {
+    top : int R.cell;
+    bottom : int R.cell;
+    buf : 'a buf R.cell;
+    last_push : int R.cell;
+  }
+
+  let mk_buf size = { mask = size - 1; slots = Array.init size (fun _ -> R.cell None) }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+    {
+      top = R.cell 0;
+      bottom = R.cell 0;
+      buf = R.cell (mk_buf (pow2 capacity 1));
+      last_push = R.cell 0;
+    }
+
+  let grow t a tp b =
+    let bigger = mk_buf ((a.mask + 1) * 2) in
+    for i = tp to b - 1 do
+      R.write bigger.slots.(i land bigger.mask) (R.read a.slots.(i land a.mask))
+    done;
+    R.write t.buf bigger;
+    bigger
+
+  let push t ~stamp v =
+    let b = R.read t.bottom in
+    let tp = R.read t.top in
+    let a = R.read t.buf in
+    let a = if b - tp > a.mask then grow t a tp b else a in
+    R.write a.slots.(b land a.mask) (Some v);
+    R.write t.bottom (b + 1);
+    R.write t.last_push stamp
+
+  let pop t =
+    let b = R.read t.bottom - 1 in
+    let a = R.read t.buf in
+    let tp = R.read t.top in
+    R.write t.bottom b (* MUTANT: bottom published after the top load *)
+    ;
+    if b < tp then begin
+      R.write t.bottom tp;
+      None
+    end
+    else begin
+      let slot = a.slots.(b land a.mask) in
+      let x = R.read slot in
+      if b > tp then begin
+        R.write slot None;
+        x
+      end
+      else begin
+        let won = R.cas t.top tp (tp + 1) in
+        R.write t.bottom (tp + 1);
+        if won then begin
+          R.write slot None;
+          x
+        end
+        else None
+      end
+    end
+
+  let rec steal t =
+    let tp = R.read t.top in
+    let b = R.read t.bottom in
+    if b - tp <= 0 then None
+    else begin
+      let a = R.read t.buf in
+      let x = R.read a.slots.(tp land a.mask) in
+      if R.cas t.top tp (tp + 1) then x
+      else begin
+        R.pause ();
+        steal t
+      end
+    end
+
+  let size t = max 0 (R.read t.bottom - R.read t.top)
+  let last_stamp t = R.read t.last_push
+end

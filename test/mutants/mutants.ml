@@ -1,0 +1,59 @@
+(* The seeded-mutant targets.  Each mutant runs the *same* scenario and
+   property as its genuine counterpart in [Ordo_mcheck.Suites] — the
+   functorized scenarios are applied to the mutated structure — so a
+   kill demonstrates that the suite's property discriminates, not that
+   the mutant scenario was rigged. *)
+
+module Suites = Ordo_mcheck.Suites
+module Mcheck = Ordo_mcheck.Mcheck
+module R = Mcheck.Runtime
+module Deque_scen = Suites.Deque_scenario (Deque_mut.Make (R))
+module Barrier_scen = Suites.Barrier_scenario (Barrier_mut.Make (R))
+
+let deque =
+  Deque_scen.target ~name:"mut-deque"
+    ~descr:"torn bottom update: pop loads top before publishing bottom (dup steal)"
+
+let barrier =
+  Barrier_scen.target ~name:"mut-barrier"
+    ~descr:"missing release fence: generation published before count reset (deadlock)"
+
+(* Same workload and property as [Suites.oplog], over the mutated log. *)
+let oplog =
+  let init () =
+    let module T = Ordo_core.Timestamp.Logical (R) () in
+    let module O = Oplog_mut.Make (R) (T) in
+    let t = O.create ~threads:3 () in
+    let merged = ref [] in
+    let batch = ref 0 in
+    {
+      Suites.ol_append = (fun v -> O.append t v);
+      ol_sync =
+        (fun () ->
+          incr batch;
+          let b = !batch in
+          ignore
+            (O.synchronize t ~apply:(fun ~ts ~core v ->
+                 merged := (b, ts, core, v) :: !merged)
+              : int));
+      ol_result = (fun () -> List.rev !merged);
+    }
+  in
+  let appender base (st : Suites.oplog_st) =
+    st.ol_append base;
+    st.ol_append (base + 1)
+  in
+  let drainer (st : Suites.oplog_st) = st.ol_sync () in
+  let prop (st : Suites.oplog_st) =
+    st.ol_sync ();
+    let ms = st.ol_result () in
+    List.length ms = 4
+    && List.sort compare (List.map (fun (_, _, _, v) -> v) ms) = [ 10; 11; 20; 21 ]
+    && Suites.batch_ordered ms && Suites.core_monotone ms
+  in
+  Suites.mk ~name:"mut-oplog"
+    ~descr:"the PR 4 race: append publishes with a plain write instead of a CAS" ~init
+    ~threads:[ appender 10; appender 20; drainer ] ~prop ()
+
+let all = [ oplog; deque; barrier ]
+let find name = List.find_opt (fun t -> t.Suites.t_name = name) all

@@ -1,0 +1,40 @@
+(* SEEDED MUTANT — the PR 4 Oplog race, reintroduced.
+
+   This is the pre-arena, cons-list Oplog shape with the bug the
+   uncertainty-aware race detector caught in PR 4: [append] publishes
+   with a plain read-modify-write instead of the single-CAS retry loop.
+   A [synchronize] drain (an [exchange] to [[]]) that lands between the
+   read and the write is silently undone — the drained entries are
+   resurrected, or the concurrent append is lost when the drain's
+   exchange lands between them the other way.  Either way an operation
+   is applied twice or never, and mcheck's exactly-once merge property
+   must kill it. *)
+
+module Make (R : Ordo_runtime.Runtime_intf.S) (T : Ordo_core.Timestamp.S) = struct
+  type 'a t = { logs : (int * 'a) list R.cell array; last_ts : int array }
+
+  let create ~threads () =
+    if threads < 1 then invalid_arg "Oplog_mut.create: threads must be >= 1";
+    { logs = Array.init threads (fun _ -> R.cell []); last_ts = Array.make threads 0 }
+
+  let append t op =
+    let core = R.tid () in
+    let ts = T.after t.last_ts.(core) in
+    t.last_ts.(core) <- ts;
+    let l = R.read t.logs.(core) in
+    R.write t.logs.(core) ((ts, op) :: l) (* MUTANT: no CAS, drains race *)
+
+  let synchronize t ~apply =
+    let entries = ref [] in
+    Array.iteri
+      (fun core cell ->
+        let l = R.exchange cell [] in
+        List.iter (fun (ts, op) -> entries := (ts, core, op) :: !entries) l)
+      t.logs;
+    let sorted = List.sort compare (List.rev !entries) in
+    List.iter (fun (ts, core, op) -> apply ~ts ~core op) sorted;
+    List.length sorted
+
+  let pending t =
+    Array.fold_left (fun acc cell -> acc + List.length (R.read cell)) 0 t.logs
+end

@@ -60,6 +60,30 @@ let test_raw_get_time_fires () =
   check Alcotest.(list string) "T.get is the idiom" []
     (rules_of (diags ~file:"lib/rlu/x.ml" "let stamp () = T.get ()"))
 
+let test_atomic_confinement_fires () =
+  let ds = diags ~file:"lib/oplog/x.ml" "let c = Atomic.make 0" in
+  check Alcotest.(list string) "fires" [ "atomic-confinement" ] (rules_of ds);
+  let ds = diags ~file:"lib/oplog/x.ml" "let v = Stdlib.Atomic.get c" in
+  check Alcotest.(list string) "Stdlib-qualified too" [ "atomic-confinement" ] (rules_of ds);
+  check Alcotest.(list string) "runtime-surface idiom is fine" []
+    (rules_of (diags ~file:"lib/oplog/x.ml" "let v = R.read (R.cell 0)"));
+  check Alcotest.(list string) "other modules' members are fine" []
+    (rules_of (diags ~file:"lib/oplog/x.ml" "let v = Array.get a 0"))
+
+let test_atomic_confinement_scoping () =
+  let scoped file src = rules_of (diags ~all_rules:false ~file src) in
+  check Alcotest.(list string) "allowed in lib/runtime" []
+    (scoped "lib/runtime/real.ml" "let c = Atomic.make 0");
+  check Alcotest.(list string) "allowed in lib/simcore" []
+    (scoped "lib/simcore/engine.ml" "let c = Atomic.make 0");
+  check Alcotest.(list string) "flagged in lib/trace" [ "atomic-confinement" ]
+    (scoped "lib/trace/x.ml" "let c = Atomic.make 0");
+  check Alcotest.(list string) "flagged in bench" [ "atomic-confinement" ]
+    (scoped "bench/x.ml" "let c = Atomic.make 0");
+  check Alcotest.(list string) "pragma opts a justified site out" []
+    (scoped "lib/trace/x.ml"
+       "[@@@ordo_lint.allow \"atomic-confinement\"]\nlet c = Atomic.make 0")
+
 let test_path_scoping () =
   (* Without --all-rules the rules only apply in their home directories. *)
   let scoped file src = rules_of (diags ~all_rules:false ~file src) in
@@ -116,9 +140,9 @@ let test_misuse_fixture () =
   match Lint.lint_file ~all_rules:true path with
   | Error e -> Alcotest.failf "fixture unreadable: %s" e
   | Ok ds ->
-    check Alcotest.(list string) "all four rules fire" (List.sort compare Lint.rule_ids)
+    check Alcotest.(list string) "all five rules fire" (List.sort compare Lint.rule_ids)
       (rules_of ds);
-    check Alcotest.bool "at least four diagnostics" true (List.length ds >= 4)
+    check Alcotest.bool "at least five diagnostics" true (List.length ds >= 5)
 
 let case name f = Alcotest.test_case name `Quick f
 
@@ -130,6 +154,8 @@ let suite =
     case "uncertainty bindings suppress cmp-zero" test_cmp_zero_uncertain_binding_suppresses;
     case "raw clock reads fire" test_raw_clock_fires;
     case "raw get_time in substrates fires" test_raw_get_time_fires;
+    case "atomic confinement fires" test_atomic_confinement_fires;
+    case "atomic confinement scoping" test_atomic_confinement_scoping;
     case "path scoping" test_path_scoping;
     case "lib/sched scoping" test_sched_scoping;
     case "allow pragma" test_allow_pragma;

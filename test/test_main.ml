@@ -21,4 +21,5 @@ let () =
       ("analyze", Test_analyze.suite);
       ("lint", Test_lint.suite);
       ("cluster", Test_cluster.suite);
+      ("mcheck", Test_mcheck.suite);
     ]

@@ -3,6 +3,11 @@
    substrates, certified promise-resolution order, and the stock offline
    checker over scheduler traces (sim and live). *)
 
+(* Harness-level stop flags on real domains sit outside the structure
+   under test on purpose: routing them through the runtime would add
+   synchronization to the schedule being exercised. *)
+[@@@ordo_lint.allow "atomic-confinement"]
+
 module SimR = Ordo_sim.Sim.Runtime
 module Sim = Ordo_sim.Sim
 module Machine = Ordo_sim.Machine

@@ -1231,3 +1231,163 @@ let mcheck ~full =
     ~title:"seeded mutants: interleavings visited before the counterexample"
     ~header:[ "mutant"; "verdict"; "to-kill"; "cex steps"; "switches"; "reason" ]
     mrows
+
+(* ---------- Service: replicated session front-end ---------------------- *)
+
+(* End-to-end composition: Sessions traffic over replica groups with epoch
+   group commit, admission control, primary->backup replication and
+   lease-based failover.  Three tables: (1) one Ordo commit-wait per
+   epoch vs per cross-shard transaction; (2) the price of replication
+   (replicas 1 = unreplicated); (3) a chaos run that kills a primary
+   mid-2PC and must degrade, promote, recover and still satisfy the
+   stock offline checker with exactly-once effects. *)
+let service ~full =
+  let module Net = Ordo_cluster.Net in
+  let module Compose = Ordo_cluster.Compose in
+  let module Svc = Ordo_service.Service in
+  let module Chaos = Ordo_service.Chaos in
+  let module Sessions = Ordo_workloads.Sessions in
+  let module Node_fault = Ordo_hazard.Node_fault in
+  let module Trace = Ordo_trace.Trace in
+  let module Checker = Ordo_trace.Checker in
+  Report.section "Service: replicated, admission-controlled session front-end";
+  let sessions_list = if full then [ 120; 240; 480 ] else [ 60; 120; 240 ] in
+  let dur = if full then 250_000 else 100_000 in
+  (* One cell = one whole cluster (spec, boundary measurement, run,
+     offline check) built inside the task, so cells are independent and
+     the tables are byte-identical for any --jobs count. *)
+  let cell ?fault ~replicas ~epoch sessions =
+    let spec = Net.Spec.make ~machine:"amd" ~replicas (2 * replicas) in
+    let c = Compose.measure spec in
+    let cfg =
+      {
+        Svc.default with
+        Svc.profile = { Sessions.default with Sessions.sessions; dur_ns = dur };
+        epoch_ns = epoch;
+      }
+    in
+    Trace.start ~capacity:262_144 ();
+    let r =
+      match fault with
+      | None -> Svc.run ~boundary:c.Compose.boundary spec cfg
+      | Some f -> Svc.run ~boundary:c.Compose.boundary ~fault:f spec cfg
+    in
+    let rep = Checker.check ~boundary:c.Compose.boundary (Trace.stop ()) in
+    (r, rep)
+  in
+  let invariants (r : Svc.result) =
+    if
+      r.Svc.issued = r.Svc.committed + r.Svc.failed
+      && r.Svc.sum_values = r.Svc.expected_sum
+      && r.Svc.locks_left = 0 && r.Svc.divergence = 0
+    then "ok"
+    else "VIOLATED"
+  in
+  let verdict (rep : Checker.report) =
+    if Checker.ok rep then "ok"
+    else Printf.sprintf "%d violations" (List.length rep.Checker.violations)
+  in
+  (* (1) epoch group commit vs per-transaction commit wait. *)
+  let series = [ ("epoch group-commit", Svc.default.Svc.epoch_ns); ("per-txn wait", 0) ] in
+  let cells =
+    List.concat_map (fun (_, e) -> List.map (fun s -> (e, s)) sessions_list) series
+  in
+  let results =
+    H.par_map (fun (epoch, sessions) -> cell ~replicas:2 ~epoch sessions) cells
+  in
+  let header =
+    [
+      "sessions"; "committed"; "cross"; "waits"; "wait ns"; "ops/us"; "p50 ns";
+      "p99 ns"; "invariants"; "checker";
+    ]
+  in
+  List.iteri
+    (fun i (label, e) ->
+      let rows =
+        List.map2
+          (fun ((r : Svc.result), rep) sessions ->
+            [
+              string_of_int sessions;
+              string_of_int r.Svc.committed;
+              string_of_int r.Svc.cross_committed;
+              string_of_int r.Svc.commit_waits;
+              string_of_int r.Svc.wait_ns;
+              Printf.sprintf "%.2f" r.Svc.throughput;
+              Printf.sprintf "%.0f" r.Svc.p50_ns;
+              Printf.sprintf "%.0f" r.Svc.p99_ns;
+              invariants r;
+              verdict rep;
+            ])
+          (List.nth (H.chunks (List.length sessions_list) results) i)
+          sessions_list
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf "2 groups x 2 replicas, %s (epoch_ns=%d)" label e)
+        ~header rows)
+    series;
+  (* (2) replication on/off at fixed load. *)
+  let reps = if full then [ 1; 2; 3 ] else [ 1; 2 ] in
+  let sess = List.nth sessions_list 1 in
+  let rres =
+    H.par_map (fun replicas -> cell ~replicas ~epoch:Svc.default.Svc.epoch_ns sess) reps
+  in
+  Report.table
+    ~title:(Printf.sprintf "replication factor at %d sessions (epoch group commit)" sess)
+    ~header:
+      [
+        "replicas"; "committed"; "ops/us"; "p99 ns"; "rep shipped"; "rep applied";
+        "msgs"; "invariants"; "checker";
+      ]
+    (List.map2
+       (fun replicas ((r : Svc.result), rep) ->
+         [
+           string_of_int replicas;
+           string_of_int r.Svc.committed;
+           Printf.sprintf "%.2f" r.Svc.throughput;
+           Printf.sprintf "%.0f" r.Svc.p99_ns;
+           string_of_int r.Svc.rep_shipped;
+           string_of_int r.Svc.rep_applied;
+           string_of_int r.Svc.messages;
+           invariants r;
+           verdict rep;
+         ])
+       reps rres);
+  (* (3) chaos: kill a primary mid-run; the group must degrade, promote a
+     backup past the promotion floor, re-join the victim by snapshot and
+     end exactly-once with the stock checker clean. *)
+  let chaos =
+    H.par_map
+      (fun name ->
+        let replicas = 2 in
+        let fault =
+          match Node_fault.by_name name with
+          | Some preset -> preset ~seed:1 ~dur ~groups:2 ~replicas
+          | None -> invalid_arg name
+        in
+        (name, cell ~fault ~replicas ~epoch:Svc.default.Svc.epoch_ns sess))
+      (if full then [ "primary_kill"; "rolling" ] else [ "primary_kill" ])
+  in
+  List.iter
+    (fun (name, ((r : Svc.result), rep)) ->
+      Report.table
+        ~title:(Printf.sprintf "chaos scenario %s at %d sessions" name sess)
+        ~header:
+          [
+            "committed"; "failed"; "promotions"; "degraded reads"; "snapshots";
+            "rep stale"; "invariants"; "checker";
+          ]
+        [
+          [
+            string_of_int r.Svc.committed;
+            string_of_int r.Svc.failed;
+            string_of_int r.Svc.promotions;
+            string_of_int r.Svc.degraded_reads;
+            string_of_int r.Svc.snapshots;
+            string_of_int r.Svc.rep_stale;
+            invariants r;
+            verdict rep;
+          ];
+        ];
+      List.iter (fun e -> print_endline ("  " ^ Chaos.describe_event e)) r.Svc.timeline)
+    chaos

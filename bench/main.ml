@@ -46,6 +46,9 @@ let experiments : (string * string * (full:bool -> unit)) list =
     ( "cluster",
       "Cluster: sharded KV, central sequencer vs composed-Ordo timestamps",
       Experiments.cluster );
+    ( "service",
+      "Service: replicated session front-end, epoch commit + chaos failover",
+      Experiments.service );
     ("micro", "Live-host microbenchmarks (Bechamel)", fun ~full:_ -> Micro.run ());
     ( "live",
       "Live: work-stealing pool on OCaml 5 domains (throughput opt-in via --live)",
@@ -87,7 +90,7 @@ let write_json path ~jobs ~full ~probes records total_wall total_events =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"pr\": 8,\n";
+  p "  \"pr\": 10,\n";
   p "  \"jobs\": %d,\n" jobs;
   p "  \"host_cpus\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"full\": %b,\n" full;

@@ -42,6 +42,42 @@ type source = Logical | Ordo
 
 let source_name = function Logical -> "logical" | Ordo -> "ordo"
 
+(* Hooks shared with the layers built on this service (lib/service): the
+   versioned-lease key state and the trace vocabulary, so the offline
+   checker sees one probe protocol no matter which layer emitted it. *)
+
+module Key = struct
+  type t = {
+    mutable value : int;
+    mutable ver : int;
+    mutable wts : int;  (* timestamp of the installed version *)
+    mutable rts : int;  (* read lease: no write may commit at or below this *)
+    mutable locked : bool;
+  }
+
+  let make ~value = { value; ver = 0; wts = 0; rts = 0; locked = false }
+end
+
+module Obs = struct
+  (* Observational helpers: no time charge, no rng draw — safe to call
+     (or skip) without perturbing the simulated history. *)
+  let probe net node name b c =
+    if Trace.enabled () then
+      Trace.emit ~tid:node ~time:(Net.now net) Trace.Probe ~a:(Trace.intern name) ~b ~c
+
+  let clock net node =
+    let v = Net.clock net node in
+    if Trace.enabled () then
+      Trace.emit ~tid:node ~time:(Net.now net) Trace.Clock_read ~a:v ~b:0 ~c:0;
+    v
+
+  let emit_tx net node ~start_ts ~reads ~installs ~commit_ts =
+    probe net node "tx.begin" start_ts 0;
+    List.iter (fun (k, v) -> probe net node "tx.read" k v) reads;
+    List.iter (fun (k, v) -> probe net node "tx.install" k v) installs;
+    probe net node "tx.commit" commit_ts 0
+end
+
 type config = {
   shards : int;
   keys : int;
@@ -113,7 +149,7 @@ type msg =
   | SeqReq of { shard : int; tx : txn }
   | SeqResp of { tx : txn; ts : int }
 
-type key_state = {
+type key_state = Key.t = {
   mutable value : int;
   mutable ver : int;
   mutable wts : int;  (* timestamp of the installed version *)
@@ -134,9 +170,7 @@ let run ~boundary (spec : Net.Spec.t) (cfg : config) =
   let s = cfg.shards in
   let client = s and seqr = s + 1 in
   let shard_of k = k mod s in
-  let tbl =
-    Array.init cfg.keys (fun _ -> { value = 100; ver = 0; wts = 0; rts = 0; locked = false })
-  in
+  let tbl = Array.init cfg.keys (fun _ -> Key.make ~value:100) in
   let issued = ref 0
   and committed = ref 0
   and aborted = ref 0
@@ -152,22 +186,11 @@ let run ~boundary (spec : Net.Spec.t) (cfg : config) =
      its stamp: txid -> participant version from the Prepared vote. *)
   let pending_ver : (int, int) Hashtbl.t = Hashtbl.create 64 in
 
-  (* -- tracing helpers (observational: no time charge, no rng) -- *)
-  let probe node name b c =
-    if Trace.enabled () then
-      Trace.emit ~tid:node ~time:(Net.now net) Trace.Probe ~a:(Trace.intern name) ~b ~c
-  in
-  let clock node =
-    let v = Net.clock net node in
-    if Trace.enabled () then
-      Trace.emit ~tid:node ~time:(Net.now net) Trace.Clock_read ~a:v ~b:0 ~c:0;
-    v
-  in
+  (* -- tracing helpers (see {!Obs}: observational, free of time/rng) -- *)
+  let probe node name b c = Obs.probe net node name b c in
+  let clock node = Obs.clock net node in
   let emit_tx node ~start_ts ~reads ~installs ~commit_ts =
-    probe node "tx.begin" start_ts 0;
-    List.iter (fun (k, v) -> probe node "tx.read" k v) reads;
-    List.iter (fun (k, v) -> probe node "tx.install" k v) installs;
-    probe node "tx.commit" commit_ts 0
+    Obs.emit_tx net node ~start_ts ~reads ~installs ~commit_ts
   in
 
   let finish tx ok shard reply =

@@ -23,6 +23,41 @@ type source =
 
 val source_name : source -> string
 
+(** Versioned-lease key state, shared with the service layer built on
+    this store ({!Ordo_service}). *)
+module Key : sig
+  type t = {
+    mutable value : int;
+    mutable ver : int;
+    mutable wts : int;  (** timestamp of the installed version *)
+    mutable rts : int;  (** read lease: no write may commit at or below it *)
+    mutable locked : bool;
+  }
+
+  val make : value:int -> t
+end
+
+(** Trace vocabulary hooks: the [Clock_read]/[tx.*]/[ordo.new_time]
+    emission discipline, exported so higher layers speak the same probe
+    protocol and the stock offline checker needs no layer-specific
+    code.  All helpers are observational — no time charge, no rng
+    draw — so enabling tracing never perturbs a run. *)
+module Obs : sig
+  val probe : 'm Net.t -> int -> string -> int -> int -> unit
+  val clock : 'm Net.t -> int -> int
+  (** Read node's reference clock, emitting a [Clock_read] event. *)
+
+  val emit_tx :
+    'm Net.t ->
+    int ->
+    start_ts:int ->
+    reads:(int * int) list ->
+    installs:(int * int) list ->
+    commit_ts:int ->
+    unit
+  (** Emit one committed transaction's probe group atomically. *)
+end
+
 type config = {
   shards : int;  (** must equal the spec's node count *)
   keys : int;

@@ -32,6 +32,7 @@ module Spec = struct
 
   type t = {
     nodes : int;
+    replicas : int;
     machine_name : string;
     machine : Machine.t;
     skew_ns : int;
@@ -42,8 +43,11 @@ module Spec = struct
   }
 
   let make ?(skew_ns = 2_000) ?offsets ?(link = default_link) ?(overrides = [])
-      ?(seed = 11L) ~machine nodes =
+      ?(seed = 11L) ?(replicas = 1) ~machine nodes =
     if nodes < 1 then invalid_arg "Net.Spec.make: need at least one node";
+    if replicas < 1 then invalid_arg "Net.Spec.make: need at least one replica per group";
+    if nodes mod replicas <> 0 then
+      invalid_arg "Net.Spec.make: node count must be a multiple of the replica count";
     (match offsets with
     | Some o when Array.length o <> nodes ->
       invalid_arg "Net.Spec.make: offsets must have one entry per node"
@@ -54,6 +58,7 @@ module Spec = struct
     | Some m ->
       {
         nodes;
+        replicas;
         machine_name = machine;
         machine = m;
         skew_ns;
@@ -63,6 +68,8 @@ module Spec = struct
         seed;
       }
 
+  let groups t = t.nodes / t.replicas
+
   let extend t extra =
     if extra < 0 then invalid_arg "Net.Spec.extend: negative count";
     {
@@ -71,7 +78,10 @@ module Spec = struct
       offsets = Option.map (fun o -> Array.append o (Array.make extra 0)) t.offsets;
     }
 
-  (* "4xamd" or "2xarm:base=500,jitter=50,overhead=0,mode=reorder,skew=0,seed=7" *)
+  (* "4xamd", "3x2xamd" (3 shard groups of 2 replicas = 6 nodes), or
+     "2xarm:base=500,jitter=50,overhead=0,mode=reorder,skew=0,seed=7".
+     A machine name starting with a digit would be ambiguous with the
+     replica form; no preset is, and [Machine.by_name] rejects it. *)
   let of_string s =
     let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
     let head, opts =
@@ -80,14 +90,27 @@ module Spec = struct
       | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
     in
     match String.index_opt head 'x' with
-    | None -> fail "cluster spec %S: expected <nodes>x<machine>[:opts]" s
+    | None -> fail "cluster spec %S: expected <groups>[x<replicas>]x<machine>[:opts]" s
     | Some i -> (
       let count = String.sub head 0 i in
-      let machine = String.sub head (i + 1) (String.length head - i - 1) in
+      let rest = String.sub head (i + 1) (String.length head - i - 1) in
+      (* "3x2xamd": the middle segment is a replica count iff it parses
+         as an integer (machine names never do). *)
+      let replicas, machine =
+        match String.index_opt rest 'x' with
+        | Some j when int_of_string_opt (String.sub rest 0 j) <> None ->
+          (String.sub rest 0 j, String.sub rest (j + 1) (String.length rest - j - 1))
+        | _ -> ("1", rest)
+      in
       match int_of_string_opt count with
-      | None -> fail "cluster spec %S: bad node count %S" s count
+      | None -> fail "cluster spec %S: bad group count %S" s count
       | Some n when n < 1 -> fail "cluster spec %S: need at least one node" s
       | Some n -> (
+        match int_of_string_opt replicas with
+        | None -> fail "cluster spec %S: bad replica count %S" s replicas
+        | Some r when r < 1 ->
+          fail "cluster spec %S: need at least one replica per group (got %d)" s r
+        | Some r -> (
         match Machine.by_name machine with
         | None -> fail "cluster spec %S: unknown machine %S" s machine
         | Some _ -> (
@@ -121,12 +144,17 @@ module Spec = struct
           List.iter set (String.split_on_char ',' opts);
           match !err with
           | Some e -> fail "cluster spec %S: %s" s e
-          | None -> Ok (make ~skew_ns:!skew ~link:!link ~seed:!seed ~machine n))))
+          | None ->
+            Ok (make ~skew_ns:!skew ~link:!link ~seed:!seed ~replicas:r ~machine (n * r))))))
 
   let to_string t =
     let l = t.link in
-    Printf.sprintf "%dx%s:base=%d,jitter=%d,overhead=%d,mode=%s,skew=%d,seed=%Ld"
-      t.nodes t.machine_name l.base_ns l.jitter_ns l.overhead_ns
+    let head =
+      if t.replicas = 1 then Printf.sprintf "%dx%s" t.nodes t.machine_name
+      else Printf.sprintf "%dx%dx%s" (t.nodes / t.replicas) t.replicas t.machine_name
+    in
+    Printf.sprintf "%s:base=%d,jitter=%d,overhead=%d,mode=%s,skew=%d,seed=%Ld"
+      head l.base_ns l.jitter_ns l.overhead_ns
       (match l.mode with Fifo -> "fifo" | Reorder -> "reorder")
       t.skew_ns t.seed
 
@@ -146,9 +174,11 @@ type node = {
   inst : Engine.Instance.i;
   machine : Machine.t;  (* node clock offset folded into reset_ns *)
   mutable busy_until : int;
+  mutable alive : bool;
+  mutable incarnation : int;  (* bumped by kill: pre-death events never reach a restart *)
 }
 
-type pend = { node : int; fn : unit -> unit }
+type pend = { node : int; inc : int; fn : unit -> unit }
 
 type 'm t = {
   spec : Spec.t;
@@ -161,6 +191,7 @@ type 'm t = {
   mutable now_ : int;
   mutable sent_ : int;
   mutable delivered_ : int;
+  mutable dropped_ : int;
 }
 
 let fold_offset (m : Machine.t) off =
@@ -186,6 +217,8 @@ let create (spec : Spec.t) =
           inst = Engine.Instance.create ();
           machine = fold_offset spec.Spec.machine offsets.(i);
           busy_until = 0;
+          alive = true;
+          incarnation = 0;
         })
   in
   (* One generator per directed link, derived from the spec seed and the
@@ -209,6 +242,7 @@ let create (spec : Spec.t) =
     now_ = 0;
     sent_ = 0;
     delivered_ = 0;
+    dropped_ = 0;
   }
 
 let spec t = t.spec
@@ -216,6 +250,7 @@ let nodes t = t.spec.Spec.nodes
 let now t = t.now_
 let sent t = t.sent_
 let delivered t = t.delivered_
+let dropped t = t.dropped_
 let offset_truth t n = t.offsets.(n)
 let node_machine t n = t.node_tbl.(n).machine
 let on_message t f = t.handler <- f
@@ -235,10 +270,41 @@ let clock t n =
 let check_node t n name =
   if n < 0 || n >= nodes t then invalid_arg (Printf.sprintf "Net.%s: bad node %d" name n)
 
+let alive t n =
+  check_node t n "alive";
+  t.node_tbl.(n).alive
+
+(* Crash-stop a node: deliveries and timers addressed to it — including
+   events already in flight — are dropped when popped, because they carry
+   the incarnation current at schedule time.  The node's engine state is
+   untouched (a restarted process with a durable store); protocol-level
+   amnesia is the service layer's concern. *)
+let kill t n =
+  check_node t n "kill";
+  let nd = t.node_tbl.(n) in
+  if nd.alive then begin
+    nd.alive <- false;
+    nd.incarnation <- nd.incarnation + 1;
+    if Trace.enabled () then
+      Trace.emit ~tid:n ~time:t.now_ Trace.Probe ~a:(Trace.intern "net.kill") ~b:n
+        ~c:nd.incarnation
+  end
+
+let revive t n =
+  check_node t n "revive";
+  let nd = t.node_tbl.(n) in
+  if not nd.alive then begin
+    nd.alive <- true;
+    nd.busy_until <- t.now_;
+    if Trace.enabled () then
+      Trace.emit ~tid:n ~time:t.now_ Trace.Probe ~a:(Trace.intern "net.revive") ~b:n
+        ~c:nd.incarnation
+  end
+
 let at t ~node ~delay fn =
   check_node t node "at";
   if delay < 0 then invalid_arg "Net.at: negative delay";
-  Heap.push t.q ~time:(t.now_ + delay) { node; fn }
+  Heap.push t.q ~time:(t.now_ + delay) { node; inc = t.node_tbl.(node).incarnation; fn }
 
 let send t ~src ~dst m =
   check_node t src "send";
@@ -264,6 +330,7 @@ let send t ~src ~dst m =
   Heap.push t.q ~time:arrive
     {
       node = dst;
+      inc = t.node_tbl.(dst).incarnation;
       fn =
         (fun () ->
           t.delivered_ <- t.delivered_ + 1;
@@ -280,13 +347,16 @@ let busy t n ns =
   nd.busy_until <- max nd.busy_until t.now_ + ns
 
 (* Deliveries and timers targeting a busy node are deferred to the instant
-   the node frees up (re-pushed in pop order, so FIFO among the deferred). *)
+   the node frees up (re-pushed in pop order, so FIFO among the deferred).
+   Events addressed to a dead node — or to an incarnation that has since
+   been killed — are dropped and counted. *)
 let step t =
   match Heap.pop t.q with
   | None -> false
   | Some (time, ev) ->
     let nd = t.node_tbl.(ev.node) in
-    if nd.busy_until > time then Heap.push t.q ~time:nd.busy_until ev
+    if (not nd.alive) || ev.inc <> nd.incarnation then t.dropped_ <- t.dropped_ + 1
+    else if nd.busy_until > time then Heap.push t.q ~time:nd.busy_until ev
     else begin
       if time > t.now_ then t.now_ <- time;
       ev.fn ()

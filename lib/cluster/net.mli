@@ -34,7 +34,8 @@ module Spec : sig
   (** 1.5 µs base, 300 ns mean jitter, 80 ns overhead, FIFO. *)
 
   type t = {
-    nodes : int;
+    nodes : int;  (** total node count, [groups * replicas] *)
+    replicas : int;  (** replicas per shard group (1 = unreplicated) *)
     machine_name : string;
     machine : Ordo_sim.Machine.t;
     skew_ns : int;  (** node clock offsets drawn uniformly from [\[0, skew_ns)] *)
@@ -50,20 +51,31 @@ module Spec : sig
     ?link:link ->
     ?overrides:((int * int) * link) list ->
     ?seed:int64 ->
+    ?replicas:int ->
     machine:string ->
     int ->
     t
   (** [make ~machine:"amd" n] describes [n] nodes of that machine preset.
       Node 0's clock offset is always 0 (the cluster anchor) when offsets
-      are drawn from [skew_ns].  Raises [Invalid_argument] on an unknown
-      machine name, [n < 1], or a mis-sized [offsets] array. *)
+      are drawn from [skew_ns].  [replicas] (default 1) partitions the
+      nodes into groups of that size — group [g] is nodes
+      [g*replicas .. (g+1)*replicas - 1] — and must divide [n].  Raises
+      [Invalid_argument] on an unknown machine name, [n < 1], a
+      mis-sized [offsets] array, or a replica count that does not divide
+      the node count. *)
+
+  val groups : t -> int
+  (** [nodes / replicas]: the number of replica groups (= shards of a
+      replicated service). *)
 
   val extend : t -> int -> t
   (** [extend t k] appends [k] nodes with clock offset 0 (service nodes:
-      clients, sequencers) to the topology. *)
+      clients, sequencers) to the topology.  The appended nodes are not
+      part of any replica group. *)
 
   val of_string : string -> (t, string) result
-  (** Parse ["<nodes>x<machine>[:k=v,...]"], e.g. ["4xamd"] or
+  (** Parse ["<groups>[x<replicas>]x<machine>[:k=v,...]"], e.g. ["4xamd"],
+      ["3x2xamd"] (3 groups of 2 replicas = 6 nodes) or
       ["2xarm:base=500,jitter=50,mode=reorder,skew=0,seed=7"].  Keys:
       [base], [jitter], [overhead], [mode] ([fifo]|[reorder]), [skew],
       [seed]. *)
@@ -132,6 +144,27 @@ val sent : 'm t -> int
 
 val delivered : 'm t -> int
 (** Messages delivered so far — the traffic metric batching reduces. *)
+
+val kill : 'm t -> int -> unit
+(** Crash-stop node [n]: every delivery and timer addressed to it —
+    including events already in flight — is dropped ({!dropped}) until
+    {!revive}.  Messages the node sent before dying still deliver.  The
+    node's engine state survives (a process restart over a durable
+    store); any protocol-level amnesia is the caller's to model.
+    Idempotent. *)
+
+val revive : 'm t -> int -> unit
+(** Bring a killed node back: it receives deliveries and timers scheduled
+    from this instant on; everything addressed to its previous
+    incarnation stays dropped.  Idempotent. *)
+
+val alive : 'm t -> int -> bool
+(** Ground truth for fault scenarios and tests.  Protocol code must not
+    read it — failure detection goes through leases and timeouts, which
+    is what the failover machinery exists to exercise. *)
+
+val dropped : 'm t -> int
+(** Events dropped at dead (or since-restarted) nodes. *)
 
 val run_node : 'm t -> int -> (Ordo_sim.Machine.t -> 'a) -> 'a
 (** [run_node t n f] runs [f machine] with node [n]'s simulator instance

@@ -1,0 +1,105 @@
+(* Declarative, seeded node-death scenarios for the cluster layer.
+
+   Where [Scenario] perturbs the *clocks* of one machine, a node fault
+   kills and restarts whole cluster nodes: plain timed data, validated
+   against a topology of [groups * replicas] nodes, applied by the
+   service layer through [Net.kill]/[Net.revive].  Times are virtual ns
+   from the start of the run.  The presets pick their victims from a
+   seeded [Rng] and always target a group *primary* (the first node of a
+   replica group), because killing a backup exercises nothing — the
+   interesting run is the one where leases expire, a backup promotes
+   mid-2PC and the offline checker still has to pass. *)
+
+module Rng = Ordo_util.Rng
+
+type action =
+  | Kill of { node : int }  (* crash-stop: in-flight events to it are lost *)
+  | Restart of { node : int }  (* revive; the service layer re-joins it *)
+
+type event = { at : int; action : action }
+type t = { name : string; events : event list }
+
+let empty name = { name; events = [] }
+
+let target_of = function Kill { node } | Restart { node } -> node
+
+let validate ~nodes t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let down = Hashtbl.create 8 in
+  List.iter
+    (fun { at; action } ->
+      if at < 0 then fail "node fault %s: event at %d < 0" t.name at;
+      let n = target_of action in
+      if n < 0 || n >= nodes then fail "node fault %s: node %d out of range" t.name n;
+      match action with
+      | Kill _ ->
+        if Hashtbl.mem down n then fail "node fault %s: node %d killed twice" t.name n;
+        Hashtbl.replace down n ()
+      | Restart _ ->
+        if not (Hashtbl.mem down n) then
+          fail "node fault %s: restart of live node %d" t.name n;
+        Hashtbl.remove down n)
+    (List.stable_sort (fun a b -> compare a.at b.at) t.events)
+
+let sorted t = List.stable_sort (fun a b -> compare a.at b.at) t.events
+
+let describe_action = function
+  | Kill { node } -> Printf.sprintf "kill node %d" node
+  | Restart { node } -> Printf.sprintf "restart node %d" node
+
+let describe t =
+  List.map (fun { at; action } -> Printf.sprintf "t=%-8d %s" at (describe_action action))
+    (sorted t)
+
+(* ---- seeded presets ----
+
+   [(seed, dur, groups, replicas)] fully determines a preset.  Kills land
+   in the middle third of the run — late enough that 2PC traffic is in
+   flight, early enough that the promotion and the recovery both complete
+   inside the arrival window plus the drain. *)
+
+let seeded seed name =
+  Rng.create ~seed:(Int64.of_int ((seed * 1_000_003) + Hashtbl.hash name)) ()
+
+let none ~seed:_ ~dur:_ ~groups:_ ~replicas:_ = empty "none"
+
+(* Kill one seeded group's primary mid-run, restart it at ~70% of the
+   window: the canonical degrade -> promote -> recover chaos run. *)
+let primary_kill ~seed ~dur ~groups ~replicas =
+  let rng = seeded seed "primary_kill" in
+  let g = Rng.int rng groups in
+  let node = g * replicas in
+  {
+    name = "primary_kill";
+    events =
+      [
+        { at = (dur * 35) / 100; action = Kill { node } };
+        { at = (dur * 70) / 100; action = Restart { node } };
+      ];
+  }
+
+(* Two consecutive groups lose their primaries in sequence (the second
+   falls after the first has recovered), so promotion, catch-up and
+   re-join run twice in one history. *)
+let rolling ~seed ~dur ~groups ~replicas =
+  let rng = seeded seed "rolling" in
+  let g1 = Rng.int rng groups in
+  let g2 = (g1 + 1) mod groups in
+  if g2 = g1 then primary_kill ~seed ~dur ~groups ~replicas
+  else
+    {
+      name = "rolling";
+      events =
+        [
+          { at = (dur * 25) / 100; action = Kill { node = g1 * replicas } };
+          { at = (dur * 50) / 100; action = Restart { node = g1 * replicas } };
+          { at = (dur * 55) / 100; action = Kill { node = g2 * replicas } };
+          { at = (dur * 80) / 100; action = Restart { node = g2 * replicas } };
+        ];
+    }
+
+let all =
+  [ ("none", none); ("primary_kill", primary_kill); ("rolling", rolling) ]
+
+let by_name name = List.assoc_opt name all
+let names = List.map fst all

@@ -1,0 +1,52 @@
+(** Declarative, seeded node-death scenarios for the cluster layer.
+
+    A node fault is plain data: timed kill/restart actions against the
+    nodes of a cluster, validated against its size and applied by the
+    service layer through [Net.kill]/[Net.revive] — the machinery that
+    turns a replicated service run into an end-to-end chaos run.  Times
+    are virtual ns from run start; a validated scenario is fully
+    deterministic. *)
+
+type action =
+  | Kill of { node : int }
+      (** Crash-stop: deliveries and timers addressed to the node are
+          dropped until a restart; in-flight output still delivers. *)
+  | Restart of { node : int }
+      (** Revive the node; re-joining the service is a protocol matter. *)
+
+type event = { at : int  (** virtual ns after run start *); action : action }
+type t = { name : string; events : event list }
+
+val empty : string -> t
+
+val validate : nodes:int -> t -> unit
+(** Raises [Invalid_argument] on out-of-range nodes, negative times,
+    a double kill, or a restart of a live node. *)
+
+val sorted : t -> event list
+(** Events in firing order (stable on ties). *)
+
+val target_of : action -> int
+val describe_action : action -> string
+val describe : t -> string list
+
+(** {2 Seeded presets}
+
+    [(seed, dur, groups, replicas)] fully determines each scenario.
+    Kills always target a group {e primary} (first node of a replica
+    group) in the middle of the run, so leases expire and a backup must
+    promote while 2PC traffic is in flight. *)
+
+val none : seed:int -> dur:int -> groups:int -> replicas:int -> t
+
+val primary_kill : seed:int -> dur:int -> groups:int -> replicas:int -> t
+(** Kill one seeded group's primary at 35% of the window, restart it at
+    70%: degrade, promote, recover. *)
+
+val rolling : seed:int -> dur:int -> groups:int -> replicas:int -> t
+(** Two groups lose their primaries in sequence (second kill after the
+    first restart), so promotion and re-join run twice. *)
+
+val all : (string * (seed:int -> dur:int -> groups:int -> replicas:int -> t)) list
+val by_name : string -> (seed:int -> dur:int -> groups:int -> replicas:int -> t) option
+val names : string list

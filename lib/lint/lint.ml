@@ -35,9 +35,13 @@ let under file dirs =
   List.exists (fun d -> contains_sub file d) dirs
 
 let protocol_dirs =
-  [ "lib/core/"; "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/" ]
+  [
+    "lib/core/"; "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/";
+    "lib/service/";
+  ]
 
-let substrate_dirs = [ "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/" ]
+let substrate_dirs =
+  [ "lib/rlu/"; "lib/stm/"; "lib/db/"; "lib/oplog/"; "lib/sched/"; "lib/service/" ]
 let clock_home_dirs = [ "lib/clock/"; "lib/core/" ]
 
 (* The only modules allowed to touch [Atomic] directly: the runtime

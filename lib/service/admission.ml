@@ -1,0 +1,79 @@
+(* Per-shard admission control: token bucket + queue-depth backpressure.
+
+   The bucket refills continuously at [rate_per_us] admits per µs (held
+   in millitokens so refill stays integer and deterministic) up to a
+   [burst] ceiling; every admitted request additionally occupies a queue
+   slot until the shard finishes it.  A request is shed either because
+   the bucket is dry (arrival rate above the sustained rate) or because
+   the queue is full (service time blew up — lock storms, failover);
+   both sheds carry a retry-after hint sized from the refill rate, so a
+   well-behaved client backs off exactly as long as the shard needs. *)
+
+type config = {
+  rate_per_us : int;  (* sustained admits per µs *)
+  burst : int;  (* bucket capacity, whole tokens *)
+  max_depth : int;  (* admitted-but-unfinished ops before queue-full shed *)
+}
+
+(* Sized to the service defaults: a shard spends ~500 ns of occupancy
+   per request (delivery + execution + replication fan-out), so 2/µs
+   sustained keeps the node below saturation — admission must protect
+   the shard's timers (heartbeats, epoch closes), not just its queue.
+   The depth cap bounds the backlog to well under a lease term. *)
+let default = { rate_per_us = 2; burst = 32; max_depth = 32 }
+
+type t = {
+  cfg : config;
+  mutable tokens_m : int;  (* millitokens *)
+  mutable refilled_at : int;
+  mutable depth : int;
+  mutable depth_hw : int;
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+let create cfg =
+  if cfg.rate_per_us < 1 || cfg.burst < 1 || cfg.max_depth < 1 then
+    invalid_arg "Admission.create: rate, burst and depth must all be >= 1";
+  {
+    cfg;
+    tokens_m = cfg.burst * 1000;
+    refilled_at = 0;
+    depth = 0;
+    depth_hw = 0;
+    admitted = 0;
+    shed = 0;
+  }
+
+(* [rate_per_us] tokens/µs is exactly [rate_per_us] millitokens/ns. *)
+let refill t ~now =
+  if now > t.refilled_at then begin
+    t.tokens_m <-
+      min (t.cfg.burst * 1000) (t.tokens_m + ((now - t.refilled_at) * t.cfg.rate_per_us));
+    t.refilled_at <- now
+  end
+
+let admit t ~now =
+  refill t ~now;
+  if t.depth >= t.cfg.max_depth then begin
+    t.shed <- t.shed + 1;
+    (* Time to drain about a quarter of the queue at the sustained rate. *)
+    `Shed (max 1 (t.depth * 250 / t.cfg.rate_per_us))
+  end
+  else if t.tokens_m >= 1000 then begin
+    t.tokens_m <- t.tokens_m - 1000;
+    t.depth <- t.depth + 1;
+    if t.depth > t.depth_hw then t.depth_hw <- t.depth;
+    t.admitted <- t.admitted + 1;
+    `Admit
+  end
+  else begin
+    t.shed <- t.shed + 1;
+    `Shed (max 1 ((1000 - t.tokens_m + t.cfg.rate_per_us - 1) / t.cfg.rate_per_us))
+  end
+
+let release t = if t.depth > 0 then t.depth <- t.depth - 1
+let depth t = t.depth
+let depth_hw t = t.depth_hw
+let admitted t = t.admitted
+let shed t = t.shed

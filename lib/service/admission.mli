@@ -1,0 +1,30 @@
+(** Per-shard admission control: token bucket + queue-depth backpressure.
+
+    The bucket refills continuously at [rate_per_us] admits per µs up to
+    a [burst] ceiling; each admitted request also occupies a queue slot
+    until {!release}.  Sheds carry a retry-after hint (ns) sized from
+    the refill rate.  Pure integer arithmetic — deterministic. *)
+
+type config = {
+  rate_per_us : int;  (** sustained admits per µs *)
+  burst : int;  (** bucket capacity, whole tokens *)
+  max_depth : int;  (** admitted-but-unfinished ops before queue-full shed *)
+}
+
+val default : config
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] unless all three parameters are >= 1. *)
+
+val admit : t -> now:int -> [ `Admit | `Shed of int ]
+(** [`Shed retry_after_ns] when the bucket is dry or the queue full. *)
+
+val release : t -> unit
+(** The shard finished an admitted request: free its queue slot. *)
+
+val depth : t -> int
+val depth_hw : t -> int
+val admitted : t -> int
+val shed : t -> int

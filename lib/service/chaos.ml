@@ -1,0 +1,45 @@
+(* Chaos driver: applies a Node_fault scenario to a live cluster run and
+   records the degrade/promote/recover timeline the run produces.
+
+   Kill/restart timers are scheduled on a designated always-alive node
+   (the service schedules them on its client node), so the scenario
+   fires even while its victims are down.  The timeline is plain data;
+   {!describe} renders the UPPERCASE phase lines
+   (KILLED/DEGRADED/PROMOTED/RESTARTED/RECOVERED) that the CI smoke job
+   greps for. *)
+
+module Net = Ordo_cluster.Net
+module Node_fault = Ordo_hazard.Node_fault
+
+type event = { at : int; node : int; group : int; phase : string }
+type timeline = { mutable events : event list }
+
+let timeline () = { events = [] }
+
+let record t ~at ~node ~group phase =
+  t.events <- { at; node; group; phase } :: t.events
+
+let events t =
+  List.stable_sort (fun a b -> compare a.at b.at) (List.rev t.events)
+
+let describe_event e =
+  Printf.sprintf "t=%-9d group %d node %d  %s" e.at e.group e.node e.phase
+
+let describe t = List.map describe_event (events t)
+
+(* Schedule the scenario.  [group_of] maps a node to its replica group;
+   [on_restart] re-joins a revived node at the protocol level (the
+   service's amnesia + snapshot path). *)
+let install net fault ~timer_node ~group_of ~on_restart t =
+  List.iter
+    (fun { Node_fault.at; action } ->
+      Net.at net ~node:timer_node ~delay:(max 0 at) (fun () ->
+          match action with
+          | Node_fault.Kill { node } ->
+            Net.kill net node;
+            record t ~at:(Net.now net) ~node ~group:(group_of node) "KILLED"
+          | Node_fault.Restart { node } ->
+            Net.revive net node;
+            record t ~at:(Net.now net) ~node ~group:(group_of node) "RESTARTED";
+            on_restart node))
+    (Node_fault.sorted fault)

@@ -1,0 +1,28 @@
+(** Chaos driver: applies a {!Ordo_hazard.Node_fault} scenario to a live
+    cluster run and records the degrade/promote/recover timeline. *)
+
+type event = { at : int; node : int; group : int; phase : string }
+type timeline
+
+val timeline : unit -> timeline
+val record : timeline -> at:int -> node:int -> group:int -> string -> unit
+
+val events : timeline -> event list
+(** In time order (stable on ties). *)
+
+val describe_event : event -> string
+
+val describe : timeline -> string list
+(** One line per event, phase UPPERCASE — what the CI smoke greps. *)
+
+val install :
+  'm Ordo_cluster.Net.t ->
+  Ordo_hazard.Node_fault.t ->
+  timer_node:int ->
+  group_of:(int -> int) ->
+  on_restart:(int -> unit) ->
+  timeline ->
+  unit
+(** Schedule the scenario's kill/restart timers on [timer_node] (which
+    must stay alive — the service uses its client node).  [on_restart]
+    re-joins a revived node at the protocol level. *)

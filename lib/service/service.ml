@@ -1,0 +1,1461 @@
+(* Ordo_service: a replicated, admission-controlled session front-end.
+
+   Composes the repo's layers end to end: Sessions (lib/workloads)
+   generates deterministic client traffic; each replica group runs a
+   Kv.Key-shaped store under the Tardis read-lease / 2PC discipline of
+   lib/cluster's Kv service; writes group-commit Silo-style in epochs
+   (Epoch) with ONE Ordo commit-wait per epoch instead of one per
+   cross-shard transaction; every state transition replicates
+   primary -> backup over a sequenced idempotent stream (Replog); and
+   leadership is lease-based (Lease) with Guard-policy failover
+   patience, so a chaos scenario (Node_fault via Chaos) that kills a
+   primary mid-2PC degrades, promotes and recovers without losing or
+   duplicating a commit.
+
+   Correctness skeleton — each rule is load-bearing:
+
+   - Flush before sync-ship.  A primary buffers replication entries,
+     client replies and trace-probe thunks; [flush] ships the entries
+     to the backups BEFORE any reply or 2PC protocol message leaves the
+     node.  So acknowledged => replicated, and unacknowledged => the
+     client retransmits and the replicated done-table dedups.  That
+     pair is the whole exactly-once argument.
+
+   - Epoch group commit.  Cross-shard commits join the open epoch with
+     their joint (max) proposal; the epoch close commit-waits the joint
+     proposal once (one [ordo.new_time] probe per epoch), then installs
+     every member at the epoch's final stamp.  Single-shard writes ride
+     the same flush for replication amortization but need no wait.
+
+   - Lease math (Lease).  A backup promotes only once the lease has
+     certainly expired on every clock and stamps above
+     [promotion_floor > until + boundary]; degraded reads served while
+     suspicion is pending stay at or below [min (rts, until)] — below
+     anything the old primary promised a writer and below anything a
+     promoted peer will stamp.
+
+   - Presumed abort.  A promoted (or restarted, for unreplicated
+     groups) leader aborts every replicated-but-undecided
+     coordinator-side preparation: decisions flush before they ship, so
+     no decision in the replicated prefix means no participant has one
+     either.  Decisions retransmit until acknowledged; the participant
+     dedups by txid.
+
+   - Stream identity.  A promotion reuses the dead primary's sequence
+     space from the promoted node's applied position; the [Promoted]
+     broadcast carries that position, and any same-group backup whose
+     applied position differs re-joins via snapshot rather than apply a
+     forked stream.
+
+   The run is fully deterministic: all randomness flows through
+   Sessions' split rng streams, the cluster sim is single-threaded
+   discrete-event, and hashtable iteration is deterministic given a
+   deterministic insertion history. *)
+
+module Net = Ordo_cluster.Net
+module Key = Ordo_cluster.Kv.Key
+module Obs = Ordo_cluster.Kv.Obs
+module Sessions = Ordo_workloads.Sessions
+module Node_fault = Ordo_hazard.Node_fault
+module Stats = Ordo_util.Stats
+
+type config = {
+  profile : Sessions.profile;  (** traffic shape; [keys] come from here *)
+  adm : Admission.config;
+  epoch_ns : int;  (** group-commit epoch; 0 = per-transaction commit wait *)
+  term_ns : int;  (** leadership lease term *)
+  heartbeat_ns : int;  (** lease renewal / failure-detector tick *)
+  lease_ns : int;  (** read-lease extension granted per read *)
+  op_ns : int;  (** shard occupancy per request step *)
+  msg_ns : int;  (** node occupancy per delivered message *)
+  retry_ns : int;  (** server-side locked-key backoff unit *)
+  max_retries : int;  (** locked-key retries before failing the op *)
+  client_retry_ns : int;  (** client retransmit patience *)
+  max_attempts : int;  (** client attempts (sheds included) before giving up *)
+  prep_abort_ns : int;  (** coordinator patience before presuming a prepare dead *)
+  rexmit_ns : int;  (** decision retransmit interval *)
+  rexmit_cap : int;  (** decision retransmits before giving up *)
+  policy : Ordo_core.Guard.policy;  (** failover patience policy *)
+  seed : int;
+}
+
+let default =
+  {
+    profile = Sessions.default;
+    adm = Admission.default;
+    epoch_ns = 1_500;
+    term_ns = 60_000;
+    heartbeat_ns = 20_000;
+    lease_ns = 3_000;
+    op_ns = 120;
+    msg_ns = 250;
+    retry_ns = 400;
+    max_retries = 8;
+    client_retry_ns = 40_000;
+    max_attempts = 12;
+    prep_abort_ns = 30_000;
+    rexmit_ns = 15_000;
+    rexmit_cap = 64;
+    policy = Ordo_core.Guard.Fallback;
+    seed = 1;
+  }
+
+type group_stats = { g_admitted : int; g_shed : int; g_depth_hw : int }
+
+type result = {
+  issued : int;
+  committed : int;
+  failed : int;  (** ops the client gave up on (attempt budget exhausted) *)
+  shed_replies : int;  (** shed replies observed by the client *)
+  cross_issued : int;
+  cross_committed : int;
+  sessions_opened : int;
+  sessions_closed : int;
+  reconnects : int;
+  storm_ops : int;
+  epochs : int;
+  epoch_txns : int;  (** cross-shard commits that rode an epoch batch *)
+  commit_waits : int;  (** per epoch when batching, per transaction otherwise *)
+  wait_ns : int;
+  rep_shipped : int;
+  rep_applied : int;
+  rep_dups : int;
+  rep_stale : int;  (** stream messages dropped by term/role checks *)
+  promotions : int;
+  degraded_reads : int;
+  snapshots : int;  (** re-joins completed (restart or deposed leader) *)
+  messages : int;
+  dropped : int;  (** events dropped at dead nodes *)
+  end_ns : int;
+  boundary : int;
+  throughput : float;  (** committed ops per µs *)
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  sum_values : int;  (** conservation: must equal [expected_sum] *)
+  expected_sum : int;
+  locks_left : int;  (** must be 0 after the drain *)
+  divergence : int;  (** live replica (value, ver) mismatches vs the leader *)
+  per_group : group_stats array;
+  timeline : Chaos.event list;
+}
+
+type role = Leader | Backup
+
+(* One side of a pending 2PC transfer ([pr_coord] = coordinator). *)
+type prep = {
+  pr_txid : int;
+  pr_key : int;  (* the key this node locked *)
+  pr_other : int;  (* coordinator side: the participant's key *)
+  pr_prop : int;  (* this side's commit proposal *)
+  pr_rid : int;  (* coordinator side: the client request *)
+  pr_peer : int;  (* the other side's group *)
+  pr_coord : bool;
+}
+
+(* A decision the participant group has not acknowledged yet. *)
+type undec = {
+  u_commit : bool;
+  u_ts : int;
+  u_ver_b : int;
+  u_peer : int;
+  mutable u_tries : int;
+}
+
+type outcome =
+  | Done_ok
+  | Done_fail
+  | Shed_retry of int  (* retry-after hint, ns *)
+  | Moved of int  (* redirect: believed leader of the key's group *)
+
+type msg =
+  | Req of { rid : int; op : Sessions.op }
+  | Reply of { rid : int; outcome : outcome }
+  | Prepare of { txid : int; key_b : int; prop : int; coord : int }
+  | Prepared of { txid : int; ver_b : int; prop : int }
+  | Conflict of { txid : int }
+  | Decision of { txid : int; commit : bool; ts : int; ver_b : int }
+  | DecisionAck of { txid : int }
+  | Rep of { term : int; entries : Replog.entry list }
+  | RepAck of { term : int; seq : int }  (* backup applied through [seq] *)
+  | Heartbeat of { term : int; until : int }
+  | Promoted of { group : int; term : int; leader : int; pos : int }
+  | Join of { node : int }
+  | Snapshot of {
+      term : int;
+      seq : int;  (* stream position the snapshot is current as of *)
+      keys : (int * int * int * int * int * bool) list;
+          (* (key, value, ver, wts, rts, locked) *)
+      preps : prep list;
+      dones : (int * bool * int) list;  (* (rid, ok, delta) *)
+      decideds : (int * bool) list;
+      unackeds : (int * undec) list;
+    }
+
+type nstate = {
+  n_id : int;
+  n_group : int;
+  mutable n_role : role;
+  mutable n_term : int;
+  mutable n_lease : Lease.t;
+  mutable n_floor : int;  (* promotion floor: min stamp this leader may use *)
+  n_store : Key.t array;
+  n_log : Replog.t;
+  n_adm : Admission.t;
+  n_done : (int, bool * int) Hashtbl.t;  (* rid -> (ok, value delta) *)
+  n_prep : (int, prep) Hashtbl.t;
+  n_decided : (int, bool) Hashtbl.t;  (* txid -> commit? *)
+  n_unacked : (int, undec) Hashtbl.t;
+  n_inflight : (int, int) Hashtbl.t;  (* rid -> txid (coordinator side) *)
+  n_exec : (int, unit) Hashtbl.t;
+      (* rids admitted but not yet resolved (locked-key backoff, open
+         2PC): a retransmit of one of these must not execute again *)
+  n_batch : (int -> unit) Epoch.t;  (* members are commit closures *)
+  mutable n_entries : Replog.entry list;  (* buffered, reverse order *)
+  mutable n_replies : (int * outcome) list;
+  mutable n_probes : (unit -> unit) list;
+  n_unflushed : (int, unit) Hashtbl.t;  (* rids with a buffered or held reply *)
+  n_peer_ack : (int, int) Hashtbl.t;  (* peer -> highest replicated seq it acked *)
+  mutable n_held : (int * (unit -> unit) list * (int * outcome) list) list;
+      (* flushed probes and replies awaiting replication acks,
+         (watermark, probes, replies) in ship order: both leave only
+         once every peer has acknowledged the stream through the
+         watermark, so an acknowledged or trace-visible op is
+         replicated — not merely shipped.  A commit the group never
+         saw must stay out of the trace too: a promotion that forks
+         the stream under it would otherwise serve older versions at
+         later stamps and the offline checker would (rightly) flag
+         the orphaned write as a lost update *)
+  mutable n_to_send : int list;  (* decisions awaiting first transmission *)
+  mutable n_flush_armed : bool;
+  mutable n_rexmit_armed : bool;
+  mutable n_hb_armed : bool;
+  mutable n_mon_armed : bool;
+  mutable n_syncing : bool;  (* re-joining: awaiting a snapshot *)
+  mutable n_suspected : bool;  (* backup: lease lapsed, failover pending *)
+}
+
+(* One client-side op in flight. *)
+type pend = {
+  p_rid : int;
+  p_op : Sessions.op;
+  p_group : int;
+  p_arrival : int;
+  mutable p_attempts : int;
+  mutable p_rot : int;  (* replica rotation, bumped on timeouts only *)
+  mutable p_sent_at : int;
+  p_fin : bool -> unit;
+}
+
+let run ~boundary ?(fault = Node_fault.empty "none") spec cfg =
+  let replicas = spec.Net.Spec.replicas in
+  let groups = Net.Spec.groups spec in
+  if groups < 2 then invalid_arg "Service.run: need at least 2 groups";
+  if boundary < 0 then invalid_arg "Service.run: negative boundary";
+  if cfg.epoch_ns < 0 then invalid_arg "Service.run: negative epoch";
+  if
+    cfg.term_ns <= 0 || cfg.heartbeat_ns <= 0 || cfg.client_retry_ns <= 0
+    || cfg.max_attempts < 1 || cfg.prep_abort_ns <= 0 || cfg.rexmit_ns <= 0
+    || cfg.max_retries < 0 || cfg.rexmit_cap < 1
+  then invalid_arg "Service.run: degenerate timer config";
+  Node_fault.validate ~nodes:spec.Net.Spec.nodes fault;
+  (* transfers partner across groups: the traffic's partition count is
+     the group count, whatever the profile said *)
+  let profile = { cfg.profile with Sessions.partitions = groups } in
+  let keys = profile.Sessions.keys in
+  let nodes = spec.Net.Spec.nodes in
+  let client = nodes in
+  let net : msg Net.t = Net.create (Net.Spec.extend spec 1) in
+  let tl = Chaos.timeline () in
+  let base_of g = g * replicas in
+  let group_of_node i = i / replicas in
+  let group_of_key k = k mod groups in
+  let patience =
+    Lease.failover_patience ~policy:cfg.policy ~boundary ~term_ns:cfg.term_ns
+  in
+
+  (* ---- counters ---- *)
+  let issued = ref 0 and committed = ref 0 and failed = ref 0 in
+  let shed_replies = ref 0 in
+  let cross_issued = ref 0 and cross_committed = ref 0 in
+  let commit_waits = ref 0 and wait_ns = ref 0 in
+  let rep_stale = ref 0 in
+  let promotions = ref 0 and degraded_reads = ref 0 and snapshots = ref 0 in
+  let end_ns = ref 0 in
+  let lats = ref [] in
+  let rid_counter = ref 0 and txid_counter = ref 0 in
+  let stopping = ref false in
+
+  (* ---- per-node state ---- *)
+  let st =
+    Array.init nodes (fun i ->
+        let g = group_of_node i in
+        {
+          n_id = i;
+          n_group = g;
+          n_role = (if i mod replicas = 0 then Leader else Backup);
+          n_term = 1;
+          n_lease =
+            Lease.grant ~holder:(base_of g) ~term:1 ~now:0 ~term_ns:cfg.term_ns;
+          n_floor = 0;
+          n_store = Array.init keys (fun _ -> Key.make ~value:100);
+          n_log = Replog.create ();
+          n_adm = Admission.create cfg.adm;
+          n_done = Hashtbl.create 256;
+          n_prep = Hashtbl.create 32;
+          n_decided = Hashtbl.create 256;
+          n_unacked = Hashtbl.create 32;
+          n_inflight = Hashtbl.create 32;
+          n_exec = Hashtbl.create 32;
+          n_peer_ack = Hashtbl.create 4;
+          n_held = [];
+          n_batch = Epoch.create ~epoch_ns:cfg.epoch_ns;
+          n_entries = [];
+          n_replies = [];
+          n_probes = [];
+          n_unflushed = Hashtbl.create 32;
+          n_to_send = [];
+          n_flush_armed = false;
+          n_rexmit_armed = false;
+          n_hb_armed = false;
+          n_mon_armed = false;
+          n_syncing = false;
+          n_suspected = false;
+        })
+  in
+  (* views.(v).(g): node v's belief about group g's leader (last row =
+     the client) *)
+  let views = Array.init (nodes + 1) (fun _ -> Array.init groups base_of) in
+  let peers_of =
+    Array.init nodes (fun i ->
+        List.filter
+          (fun m -> m <> i)
+          (List.init replicas (fun r -> base_of (group_of_node i) + r)))
+  in
+  let peers n = peers_of.(n.n_id) in
+  let rank n = n.n_id - base_of n.n_group in
+  let obs_clock node = Obs.clock net node in
+  let probe node name b c = Obs.probe net node name b c in
+
+  (* ---- client bookkeeping ---- *)
+  let gen = Sessions.create ~seed:cfg.seed profile in
+  let live = ref 0 in
+  let arrivals_open = ref true in
+  let pending : (int, pend) Hashtbl.t = Hashtbl.create 1024 in
+
+  (* ---- decision retransmission ---- *)
+  let send_decision n txid =
+    match Hashtbl.find_opt n.n_unacked txid with
+    | None -> ()
+    | Some u ->
+      Net.send net ~src:n.n_id ~dst:views.(n.n_id).(u.u_peer)
+        (Decision { txid; commit = u.u_commit; ts = u.u_ts; ver_b = u.u_ver_b })
+  in
+  let rec rexmit_tick n () =
+    n.n_rexmit_armed <- false;
+    (* keeps running past [stopping]: unacknowledged decisions must land
+       or the participant group drains with a lock held *)
+    if n.n_role = Leader && not n.n_syncing && Hashtbl.length n.n_unacked > 0
+    then begin
+      let txids =
+        List.sort Int.compare
+          (Hashtbl.fold (fun txid _ acc -> txid :: acc) n.n_unacked [])
+      in
+      List.iter
+        (fun txid ->
+          match Hashtbl.find_opt n.n_unacked txid with
+          | None -> ()
+          | Some u ->
+            if u.u_tries >= cfg.rexmit_cap then Hashtbl.remove n.n_unacked txid
+            else begin
+              u.u_tries <- u.u_tries + 1;
+              send_decision n txid
+            end)
+        txids;
+      arm_rexmit n
+    end
+  and arm_rexmit n =
+    if not n.n_rexmit_armed then begin
+      n.n_rexmit_armed <- true;
+      Net.at net ~node:n.n_id ~delay:cfg.rexmit_ns (rexmit_tick n)
+    end
+  in
+  (* First transmission of freshly decided transactions, then keep the
+     retransmit timer alive while anything is unacknowledged. *)
+  let pump_decisions n =
+    let fresh = List.rev n.n_to_send in
+    n.n_to_send <- [];
+    List.iter (send_decision n) fresh;
+    if Hashtbl.length n.n_unacked > 0 then arm_rexmit n
+  in
+
+  (* ---- buffered flush discipline ---- *)
+  let buffer_entry n op = n.n_entries <- Replog.next n.n_log op :: n.n_entries in
+  let buffer_probe n f = n.n_probes <- f :: n.n_probes in
+  let buffer_reply n rid outcome =
+    Hashtbl.replace n.n_unflushed rid ();
+    n.n_replies <- (rid, outcome) :: n.n_replies
+  in
+  (* Ship buffered entries to the backups FIRST; the buffered probe
+     thunks and replies leave together only once every peer has
+     acknowledged the stream through the flush's watermark (sent-but-
+     unapplied entries can still be orphaned by a promotion that forks
+     the stream under them).  Release additionally requires this
+     node's lease to still be valid: under a valid lease no peer can
+     have promoted (the promotion floor sits above until + boundary),
+     so the acked batch is part of the one true stream.  A lapsed
+     holder's batches are dropped wholesale by the deposition paths —
+     their writes either survive on the new leader (which re-serves
+     the retransmitting client from the replicated done-table) or
+     never happened anywhere that matters.  Once [stopping] is set no
+     monitor can promote anyone, so late acks release freely.
+     Unreplicated groups have no peers to wait for and emit/reply
+     immediately. *)
+  let send_reply n (rid, outcome) =
+    Hashtbl.remove n.n_unflushed rid;
+    Net.send net ~src:n.n_id ~dst:client (Reply { rid; outcome })
+  in
+  let min_peer_ack n =
+    List.fold_left
+      (fun acc p ->
+        Int.min acc (Option.value (Hashtbl.find_opt n.n_peer_ack p) ~default:(-1)))
+      max_int (peers n)
+  in
+  let release_held n =
+    match n.n_held with
+    | [] -> ()
+    | held ->
+      if Lease.valid n.n_lease ~now:(obs_clock n.n_id) || !stopping then begin
+        let ack = min_peer_ack n in
+        let ready, waiting = List.partition (fun (wm, _, _) -> wm <= ack) held in
+        n.n_held <- waiting;
+        if ready <> [] then begin
+          List.iter
+            (fun (_, probes, replies) ->
+              List.iter (fun f -> f ()) probes;
+              List.iter (send_reply n) replies)
+            ready;
+          (* released thunks may have queued first Decision
+             transmissions (cross-commit sends are emission-gated) *)
+          pump_decisions n
+        end
+      end
+  in
+  let flush n =
+    (match List.rev n.n_entries with
+    | [] -> ()
+    | entries ->
+      n.n_entries <- [];
+      List.iter
+        (fun p -> Net.send net ~src:n.n_id ~dst:p (Rep { term = n.n_term; entries }))
+        (peers n));
+    let probes = List.rev n.n_probes in
+    n.n_probes <- [];
+    let replies = List.rev n.n_replies in
+    n.n_replies <- [];
+    if probes <> [] || replies <> [] then
+      if replicas = 1 then begin
+        List.iter (fun f -> f ()) probes;
+        List.iter (send_reply n) replies
+      end
+      else n.n_held <- n.n_held @ [ (Replog.position n.n_log, probes, replies) ];
+    release_held n
+  in
+
+
+  (* ---- epoch publish ---- *)
+  let publish n joint fns =
+    let fin () =
+      let final = obs_clock n.n_id in
+      probe n.n_id "ordo.new_time" joint final;
+      List.iter (fun f -> f final) fns;
+      flush n;
+      pump_decisions n
+    in
+    let c = obs_clock n.n_id in
+    if c > joint + boundary then fin ()
+    else begin
+      let delay = joint + boundary + 1 - c in
+      incr commit_waits;
+      wait_ns := !wait_ns + delay;
+      Net.at net ~node:n.n_id ~delay fin
+    end
+  in
+  let epoch_tick n () =
+    n.n_flush_armed <- false;
+    match Epoch.close n.n_batch with
+    | Some (joint, fns) -> publish n joint fns
+    | None ->
+      flush n;
+      pump_decisions n
+  in
+  (* Immediate mode flushes inline; epoch mode arms one close timer. *)
+  let ensure_flush n =
+    if cfg.epoch_ns = 0 then begin
+      flush n;
+      pump_decisions n
+    end
+    else if not n.n_flush_armed then begin
+      n.n_flush_armed <- true;
+      Net.at net ~node:n.n_id ~delay:cfg.epoch_ns (epoch_tick n)
+    end
+  in
+
+  (* ---- 2PC resolution ---- *)
+  (* Coordinator-side abort: release the lock and the admission slot,
+     burn the rid in the done-table (the client reissues under a fresh
+     one), and optionally chase the participant with an abort decision
+     (presumed abort / prepare timeout; a Conflict abort has no
+     participant-side lock to release). *)
+  let abort_tx n txid p ~notify_peer =
+    n.n_store.(p.pr_key).Key.locked <- false;
+    Hashtbl.remove n.n_prep txid;
+    Hashtbl.replace n.n_decided txid false;
+    Hashtbl.remove n.n_inflight p.pr_rid;
+    Hashtbl.remove n.n_exec p.pr_rid;
+    Hashtbl.replace n.n_done p.pr_rid (false, 0);
+    Admission.release n.n_adm;
+    buffer_entry n (Replog.Decide { txid; commit = false; ts = 0; ver_b = 0 });
+    buffer_entry n (Replog.Done { rid = p.pr_rid; ok = false; delta = 0 });
+    buffer_reply n p.pr_rid Done_fail;
+    if notify_peer then begin
+      Hashtbl.replace n.n_unacked txid
+        { u_commit = false; u_ts = 0; u_ver_b = 0; u_peer = p.pr_peer; u_tries = 0 };
+      n.n_to_send <- txid :: n.n_to_send
+    end
+  in
+  (* Coordinator-side commit of one cross-group transfer, at the epoch's
+     (or its own) final stamp. *)
+  let commit_cross n txid p ~ver_b ~tx_start ~final =
+    let a = p.pr_key in
+    let stk = n.n_store.(a) in
+    let old = stk.Key.ver in
+    stk.Key.value <- stk.Key.value - 1;
+    stk.Key.ver <- old + 1;
+    stk.Key.wts <- final;
+    stk.Key.rts <- Int.max stk.Key.rts final;
+    stk.Key.locked <- false;
+    Hashtbl.remove n.n_prep txid;
+    Hashtbl.replace n.n_decided txid true;
+    Hashtbl.remove n.n_inflight p.pr_rid;
+    Hashtbl.remove n.n_exec p.pr_rid;
+    Hashtbl.replace n.n_done p.pr_rid (true, 0);
+    Admission.release n.n_adm;
+    buffer_entry n
+      (Replog.Install
+         { key = a; value = stk.Key.value; ver = old + 1; wts = final; rts = stk.Key.rts });
+    buffer_entry n (Replog.Decide { txid; commit = true; ts = final; ver_b = ver_b + 1 });
+    buffer_entry n (Replog.Done { rid = p.pr_rid; ok = true; delta = 0 });
+    let b = p.pr_other and peer = p.pr_peer in
+    buffer_probe n (fun () ->
+        Obs.emit_tx net n.n_id ~start_ts:tx_start
+          ~reads:[ (a, old); (b, ver_b) ]
+          ~installs:[ (a, old + 1); (b, ver_b + 1) ]
+          ~commit_ts:final;
+        (* The first Decision transmission is gated with the emission:
+           this one probe publishes installs on BOTH shards, so if the
+           Decision shipped at commit the participant could install
+           key b — and emit its own next write over it — before this
+           record exists, sequencing its version under ours.  Should
+           we be deposed with the batch still parked, the replicated
+           Decide entry rebuilds n_unacked on whoever promotes and the
+           chase resumes there. *)
+        Hashtbl.replace n.n_unacked txid
+          { u_commit = true; u_ts = final; u_ver_b = ver_b + 1; u_peer = peer; u_tries = 0 };
+        n.n_to_send <- txid :: n.n_to_send);
+    buffer_reply n p.pr_rid Done_ok;
+    incr cross_committed
+  in
+
+  (* ---- backup stream application ---- *)
+  let apply_entry n (e : Replog.entry) =
+    match e.Replog.op with
+    | Replog.Install { key; value; ver; wts; rts } ->
+      let stk = n.n_store.(key) in
+      stk.Key.value <- value;
+      stk.Key.ver <- ver;
+      stk.Key.wts <- wts;
+      stk.Key.rts <- Int.max stk.Key.rts rts
+    | Replog.Lease_ext { key; rts } ->
+      let stk = n.n_store.(key) in
+      stk.Key.rts <- Int.max stk.Key.rts rts
+    | Replog.Prep { txid; key; prop; rid; peer; coord } ->
+      n.n_store.(key).Key.locked <- true;
+      Hashtbl.replace n.n_prep txid
+        {
+          pr_txid = txid;
+          pr_key = key;
+          pr_other = -1;
+          pr_prop = prop;
+          pr_rid = rid;
+          pr_peer = peer;
+          pr_coord = coord;
+        }
+    | Replog.Decide { txid; commit; ts; ver_b } ->
+      (match Hashtbl.find_opt n.n_prep txid with
+      | Some p ->
+        n.n_store.(p.pr_key).Key.locked <- false;
+        Hashtbl.remove n.n_prep txid;
+        (* if we are ever promoted, keep chasing the participant until
+           it acknowledges (commits and aborts both) *)
+        if p.pr_coord then
+          Hashtbl.replace n.n_unacked txid
+            { u_commit = commit; u_ts = ts; u_ver_b = ver_b; u_peer = p.pr_peer; u_tries = 0 }
+      | None -> ());
+      Hashtbl.replace n.n_decided txid commit
+    | Replog.Done { rid; ok; delta } ->
+      Hashtbl.replace n.n_done rid (ok, delta);
+      Hashtbl.remove n.n_inflight rid
+    | Replog.Acked { txid } -> Hashtbl.remove n.n_unacked txid
+  in
+
+  (* ---- leadership ---- *)
+  let rec heartbeat n () =
+    n.n_hb_armed <- false;
+    if (not !stopping) && n.n_role = Leader && not n.n_syncing then begin
+      let c = obs_clock n.n_id in
+      (* Renew only a still-valid lease (continuous possession).  Once
+         it lapses — e.g. this timer starved under load — a replicated
+         peer may already be counting down to promotion, so re-granting
+         ourselves a term would race its floor; stay leader but stop
+         serving (the Req path sheds on an invalid lease) until the
+         peer's Promoted demotes us.  Unreplicated groups have no one
+         to defer to and re-grant unconditionally. *)
+      if Lease.valid n.n_lease ~now:c then
+        n.n_lease <- Lease.renew n.n_lease ~now:c ~term_ns:cfg.term_ns
+      else if replicas = 1 then
+        n.n_lease <- Lease.grant ~holder:n.n_id ~term:n.n_term ~now:c ~term_ns:cfg.term_ns;
+      if Lease.valid n.n_lease ~now:c then
+        List.iter
+          (fun p ->
+            Net.send net ~src:n.n_id ~dst:p
+              (Heartbeat { term = n.n_term; until = n.n_lease.Lease.until }))
+          (peers n);
+      n.n_hb_armed <- true;
+      Net.at net ~node:n.n_id ~delay:cfg.heartbeat_ns (heartbeat n)
+    end
+  in
+  let start_heartbeat n = if not n.n_hb_armed then heartbeat n () in
+  let presume_abort_undecided n =
+    Hashtbl.fold
+      (fun txid p acc ->
+        if p.pr_coord && not (Hashtbl.mem n.n_decided txid) then (txid, p) :: acc
+        else acc)
+      n.n_prep []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.iter (fun (txid, p) -> abort_tx n txid p ~notify_peer:true)
+  in
+  let promote n =
+    let c = obs_clock n.n_id in
+    n.n_role <- Leader;
+    n.n_term <- n.n_term + 1;
+    n.n_suspected <- false;
+    n.n_floor <- Lease.promotion_floor ~until:n.n_lease.Lease.until ~boundary ~now:c;
+    Replog.seed_from_applied n.n_log;
+    Hashtbl.reset n.n_peer_ack;  (* old-term acks refer to a forked stream *)
+    n.n_held <- [];
+    incr promotions;
+    probe n.n_id "svc.promote" n.n_group n.n_term;
+    Chaos.record tl ~at:(Net.now net) ~node:n.n_id ~group:n.n_group "PROMOTED";
+    presume_abort_undecided n;
+    n.n_to_send <-
+      List.sort Int.compare
+        (Hashtbl.fold (fun txid _ acc -> txid :: acc) n.n_unacked []);
+    flush n;
+    pump_decisions n;
+    n.n_lease <-
+      Lease.grant ~holder:n.n_id ~term:n.n_term ~now:(obs_clock n.n_id)
+        ~term_ns:cfg.term_ns;
+    views.(n.n_id).(n.n_group) <- n.n_id;
+    let pos = Replog.position n.n_log in
+    for d = 0 to nodes do
+      if d <> n.n_id then
+        Net.send net ~src:n.n_id ~dst:d
+          (Promoted { group = n.n_group; term = n.n_term; leader = n.n_id; pos })
+    done;
+    start_heartbeat n
+  in
+  let rec monitor n () =
+    n.n_mon_armed <- false;
+    if (not !stopping) && n.n_role = Backup && not n.n_syncing then begin
+      let c = obs_clock n.n_id in
+      if Lease.valid n.n_lease ~now:c then n.n_suspected <- false
+      else begin
+        if not n.n_suspected then begin
+          n.n_suspected <- true;
+          probe n.n_id "svc.degraded" n.n_group n.n_term;
+          Chaos.record tl ~at:(Net.now net) ~node:n.n_id ~group:n.n_group "DEGRADED"
+        end;
+        let give_up_at =
+          n.n_lease.Lease.until + patience
+          + (Int.max 0 (rank n - 1) * cfg.term_ns)
+        in
+        if c > give_up_at then promote n
+      end;
+      if n.n_role = Backup then arm_monitor n
+    end
+  and arm_monitor n =
+    if not n.n_mon_armed then begin
+      n.n_mon_armed <- true;
+      Net.at net ~node:n.n_id ~delay:cfg.heartbeat_ns (monitor n)
+    end
+  in
+
+  (* ---- re-join (amnesia + snapshot) ---- *)
+  let rec rejoin n =
+    n.n_role <- Backup;
+    n.n_syncing <- true;
+    n.n_suspected <- false;
+    n.n_entries <- [];
+    n.n_replies <- [];
+    n.n_probes <- [];
+    n.n_to_send <- [];
+    n.n_held <- [];
+    Hashtbl.reset n.n_peer_ack;
+    Hashtbl.reset n.n_unflushed;
+    Hashtbl.reset n.n_prep;
+    Hashtbl.reset n.n_inflight;
+    Hashtbl.reset n.n_exec;
+    Hashtbl.reset n.n_unacked;
+    Hashtbl.reset n.n_decided;
+    Hashtbl.reset n.n_done;
+    Array.iter (fun k -> k.Key.locked <- false) n.n_store;
+    join_loop n ()
+  and join_loop n () =
+    if n.n_syncing && not !stopping then begin
+      List.iter
+        (fun p -> Net.send net ~src:n.n_id ~dst:p (Join { node = n.n_id }))
+        (peers n);
+      Net.at net ~node:n.n_id ~delay:cfg.term_ns (join_loop n)
+    end
+  in
+  (* Chaos restart hook.  Volatile buffers and timers died with the old
+     incarnation.  An unreplicated group resumes leadership over its
+     durable store (presume-aborting the 2PC coordination that died with
+     the process); a replicated one re-joins with amnesia. *)
+  let restart_node node =
+    let n = st.(node) in
+    n.n_entries <- [];
+    n.n_replies <- [];
+    n.n_probes <- [];
+    n.n_to_send <- [];
+    n.n_held <- [];
+    Hashtbl.reset n.n_peer_ack;
+    Hashtbl.reset n.n_unflushed;
+    Hashtbl.reset n.n_exec;
+    n.n_flush_armed <- false;
+    n.n_rexmit_armed <- false;
+    n.n_hb_armed <- false;
+    n.n_mon_armed <- false;
+    n.n_suspected <- false;
+    if replicas = 1 then begin
+      n.n_role <- Leader;
+      n.n_term <- n.n_term + 1;
+      let c = obs_clock node in
+      n.n_floor <- Lease.promotion_floor ~until:n.n_lease.Lease.until ~boundary ~now:c;
+      presume_abort_undecided n;
+      n.n_to_send <-
+        List.sort Int.compare
+          (Hashtbl.fold (fun txid _ acc -> txid :: acc) n.n_unacked []);
+      flush n;
+      pump_decisions n;
+      n.n_lease <- Lease.grant ~holder:node ~term:n.n_term ~now:c ~term_ns:cfg.term_ns;
+      views.(node).(n.n_group) <- node;
+      let pos = Replog.position n.n_log in
+      for d = 0 to nodes do
+        if d <> node then
+          Net.send net ~src:node ~dst:d
+            (Promoted { group = n.n_group; term = n.n_term; leader = node; pos })
+      done;
+      Chaos.record tl ~at:(Net.now net) ~node ~group:n.n_group "RECOVERED";
+      start_heartbeat n
+    end
+    else rejoin n
+  in
+
+  (* ---- request execution (leader) ---- *)
+  let rec exec n rid op tries =
+    match op with
+    | Sessions.Get k ->
+      let stk = n.n_store.(k) in
+      if stk.Key.locked then retry_locked n rid op tries
+      else begin
+        (* reads ride the same ack watermark as writes: the reply (and
+           the trace record) must not leave until the rts extension —
+           and any unacked install this read observed — is replicated,
+           or a promotion could stamp a write under a read we already
+           served (a read past its replicated rts) *)
+        let c = obs_clock n.n_id in
+        let read_at = Int.max c stk.Key.wts in
+        let new_rts = Int.max stk.Key.rts (read_at + cfg.lease_ns) in
+        stk.Key.rts <- new_rts;
+        let ver = stk.Key.ver in
+        buffer_entry n (Replog.Lease_ext { key = k; rts = new_rts });
+        buffer_probe n (fun () ->
+            Obs.emit_tx net n.n_id ~start_ts:read_at
+              ~reads:[ (k, ver) ]
+              ~installs:[] ~commit_ts:read_at);
+        Hashtbl.remove n.n_exec rid;
+        Admission.release n.n_adm;
+        buffer_reply n rid Done_ok;
+        ensure_flush n
+      end
+    | Sessions.Put k ->
+      let stk = n.n_store.(k) in
+      if stk.Key.locked then retry_locked n rid op tries
+      else begin
+        let c = obs_clock n.n_id in
+        let ts =
+          Int.max c (Lease.write_floor ~floor:n.n_floor ~wts:stk.Key.wts ~rts:stk.Key.rts)
+        in
+        let old = stk.Key.ver in
+        stk.Key.value <- stk.Key.value + 1;
+        stk.Key.ver <- old + 1;
+        stk.Key.wts <- ts;
+        stk.Key.rts <- Int.max stk.Key.rts ts;
+        Hashtbl.replace n.n_done rid (true, 1);
+        buffer_entry n
+          (Replog.Install
+             { key = k; value = stk.Key.value; ver = old + 1; wts = ts; rts = stk.Key.rts });
+        buffer_entry n (Replog.Done { rid; ok = true; delta = 1 });
+        buffer_probe n (fun () ->
+            Obs.emit_tx net n.n_id ~start_ts:ts ~reads:[]
+              ~installs:[ (k, old + 1) ]
+              ~commit_ts:ts);
+        Hashtbl.remove n.n_exec rid;
+        Admission.release n.n_adm;
+        buffer_reply n rid Done_ok;
+        ensure_flush n
+      end
+    | Sessions.Transfer (a, b) ->
+      let stk = n.n_store.(a) in
+      if stk.Key.locked then retry_locked n rid op tries
+      else begin
+        let c = obs_clock n.n_id in
+        let prop =
+          Int.max c (Lease.write_floor ~floor:n.n_floor ~wts:stk.Key.wts ~rts:stk.Key.rts)
+        in
+        incr txid_counter;
+        let txid = !txid_counter in
+        stk.Key.locked <- true;
+        let peer_group = group_of_key b in
+        Hashtbl.replace n.n_prep txid
+          {
+            pr_txid = txid;
+            pr_key = a;
+            pr_other = b;
+            pr_prop = prop;
+            pr_rid = rid;
+            pr_peer = peer_group;
+            pr_coord = true;
+          };
+        Hashtbl.replace n.n_inflight rid txid;
+        buffer_entry n
+          (Replog.Prep { txid; key = a; prop; rid; peer = peer_group; coord = true });
+        (* flush before sync-ship: the prepare is on the backups before
+           the participant can observe it *)
+        flush n;
+        Net.send net ~src:n.n_id ~dst:views.(n.n_id).(peer_group)
+          (Prepare { txid; key_b = b; prop; coord = n.n_id });
+        Net.at net ~node:n.n_id ~delay:cfg.prep_abort_ns (fun () ->
+            match Hashtbl.find_opt n.n_prep txid with
+            | Some p when p.pr_coord && not (Hashtbl.mem n.n_decided txid) ->
+              abort_tx n txid p ~notify_peer:true;
+              flush n;
+              pump_decisions n
+            | _ -> ())
+      end
+  and retry_locked n rid op tries =
+    if tries >= cfg.max_retries then begin
+      (* burn the rid so the client reissues under a fresh one *)
+      Hashtbl.replace n.n_done rid (false, 0);
+      buffer_entry n (Replog.Done { rid; ok = false; delta = 0 });
+      Hashtbl.remove n.n_exec rid;
+      Admission.release n.n_adm;
+      buffer_reply n rid Done_fail;
+      ensure_flush n
+    end
+    else
+      Net.at net ~node:n.n_id ~delay:(cfg.retry_ns * (tries + 1)) (fun () ->
+          if
+            n.n_role = Leader && (not n.n_syncing)
+            && Lease.valid n.n_lease ~now:(obs_clock n.n_id)
+          then begin
+            Net.busy net n.n_id cfg.op_ns;
+            exec n rid op (tries + 1)
+          end
+          else begin
+            (* deposed while queued: the client's retransmit chases the
+               new leader; just free the admission slot *)
+            Hashtbl.remove n.n_exec rid;
+            Admission.release n.n_adm
+          end)
+  in
+
+  (* ---- client machinery ---- *)
+  let maybe_stop () =
+    if (not !arrivals_open) && !live = 0 && Hashtbl.length pending = 0 then
+      stopping := true
+  in
+  let target_of p =
+    let base = base_of p.p_group in
+    base + ((views.(client).(p.p_group) - base + p.p_rot) mod replicas)
+  in
+  let send_req p =
+    p.p_sent_at <- Net.now net;
+    Net.send net ~src:client ~dst:(target_of p) (Req { rid = p.p_rid; op = p.p_op })
+  in
+  let finishp p ok =
+    if Net.now net > !end_ns then end_ns := Net.now net;
+    if ok then begin
+      incr committed;
+      lats := float_of_int (Net.now net - p.p_arrival) :: !lats
+    end
+    else incr failed;
+    p.p_fin ok;
+    maybe_stop ()
+  in
+  let issue op fin =
+    incr issued;
+    let k =
+      match op with
+      | Sessions.Get k | Sessions.Put k | Sessions.Transfer (k, _) -> k
+    in
+    (match op with Sessions.Transfer _ -> incr cross_issued | _ -> ());
+    incr rid_counter;
+    let p =
+      {
+        p_rid = !rid_counter;
+        p_op = op;
+        p_group = group_of_key k;
+        p_arrival = Net.now net;
+        p_attempts = 0;
+        p_rot = 0;
+        p_sent_at = 0;
+        p_fin = fin;
+      }
+    in
+    Hashtbl.replace pending p.p_rid p;
+    send_req p
+  in
+  (* Retransmit scanner: rotate to the next replica once a request has
+     gone unanswered for the client patience window. *)
+  let rec scan () =
+    if not !stopping then begin
+      let now = Net.now net in
+      let late =
+        Hashtbl.fold
+          (fun _ p acc ->
+            if now - p.p_sent_at >= cfg.client_retry_ns then p :: acc else acc)
+          pending []
+      in
+      let late = List.sort (fun a b -> Int.compare a.p_rid b.p_rid) late in
+      List.iter
+        (fun p ->
+          p.p_attempts <- p.p_attempts + 1;
+          p.p_rot <- p.p_rot + 1;
+          if p.p_attempts >= cfg.max_attempts then begin
+            Hashtbl.remove pending p.p_rid;
+            finishp p false
+          end
+          else send_req p)
+        late;
+      Net.at net ~node:client ~delay:(Int.max 1 (cfg.client_retry_ns / 2)) scan
+    end
+  in
+  (* Session driving: think, issue, repeat; churn back in on completion. *)
+  let rec session_loop s =
+    if Sessions.finished s then begin
+      if Sessions.complete gen s then session_loop (Sessions.connect gen)
+      else begin
+        decr live;
+        maybe_stop ()
+      end
+    end
+    else
+      Net.at net ~node:client ~delay:(Sessions.think_gap gen s) (fun () ->
+          let op = Sessions.op gen s ~now:(Net.now net) in
+          issue op (fun _ok -> session_loop s))
+  in
+  let rec arrive () =
+    match Sessions.next_arrival gen ~now:(Net.now net) with
+    | Some gap ->
+      Net.at net ~node:client ~delay:gap (fun () ->
+          let s = Sessions.connect gen in
+          incr live;
+          session_loop s;
+          arrive ())
+    | None ->
+      arrivals_open := false;
+      maybe_stop ()
+  in
+
+  (* ---- message dispatch ---- *)
+  let handler src dst m =
+    match m with
+    | Req { rid; op } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      (match n.n_role with
+      | Leader when not n.n_syncing ->
+        let c = obs_clock dst in
+        if not (Lease.valid n.n_lease ~now:c) then
+          (* own lease lapsed (e.g. deferred under load): shed rather
+             than risk serving past it *)
+          Net.send net ~src:dst ~dst:client
+            (Reply { rid; outcome = Shed_retry cfg.heartbeat_ns })
+        else if Hashtbl.mem n.n_unflushed rid then ()  (* reply already buffered *)
+        else (
+          match Hashtbl.find_opt n.n_done rid with
+          | Some (ok, _) ->
+            (* retransmit of a resolved request: replay the outcome *)
+            Net.send net ~src:dst ~dst:client
+              (Reply { rid; outcome = (if ok then Done_ok else Done_fail) })
+          | None ->
+            if Hashtbl.mem n.n_inflight rid || Hashtbl.mem n.n_exec rid then
+              ()  (* still executing (2PC or locked-key backoff) *)
+            else (
+              match Admission.admit n.n_adm ~now:(Net.now net) with
+              | `Shed ra ->
+                probe dst "svc.shed" n.n_group ra;
+                Net.send net ~src:dst ~dst:client
+                  (Reply { rid; outcome = Shed_retry ra })
+              | `Admit ->
+                Hashtbl.replace n.n_exec rid ();
+                Net.busy net dst cfg.op_ns;
+                exec n rid op 0))
+      | _ ->
+        if n.n_syncing then ()
+        else if n.n_suspected then (
+          (* degraded service while failover is pending: reads at
+             timestamps the replicated leases already cover, writes shed *)
+          match op with
+          | Sessions.Get k ->
+            let stk = n.n_store.(k) in
+            if stk.Key.locked then
+              Net.send net ~src:dst ~dst:client
+                (Reply { rid; outcome = Shed_retry cfg.retry_ns })
+            else (
+              let c = obs_clock dst in
+              match
+                Lease.degraded_read_ts ~wts:stk.Key.wts ~rts:stk.Key.rts
+                  ~until:n.n_lease.Lease.until ~clock:c
+              with
+              | Some dts ->
+                incr degraded_reads;
+                Obs.emit_tx net dst ~start_ts:dts
+                  ~reads:[ (k, stk.Key.ver) ]
+                  ~installs:[] ~commit_ts:dts;
+                Net.send net ~src:dst ~dst:client (Reply { rid; outcome = Done_ok })
+              | None ->
+                Net.send net ~src:dst ~dst:client
+                  (Reply { rid; outcome = Shed_retry (cfg.retry_ns * 4) }))
+          | _ ->
+            Net.send net ~src:dst ~dst:client
+              (Reply { rid; outcome = Shed_retry cfg.heartbeat_ns }))
+        else
+          Net.send net ~src:dst ~dst:client
+            (Reply { rid; outcome = Moved views.(dst).(n.n_group) }))
+    | Prepare { txid; key_b; prop; coord } ->
+      Net.busy net dst (cfg.msg_ns + cfg.op_ns);
+      let n = st.(dst) in
+      if n.n_role <> Leader || n.n_syncing then ()
+      else if Hashtbl.mem n.n_decided txid || Hashtbl.mem n.n_prep txid then ()
+      else begin
+        let stk = n.n_store.(key_b) in
+        if stk.Key.locked || not (Lease.valid n.n_lease ~now:(obs_clock dst))
+        then
+          (* locked, or own lease lapsed (a peer may be promoting):
+             refuse rather than grant a prepare we may not honor *)
+          Net.send net ~src:dst ~dst:coord (Conflict { txid })
+        else begin
+          stk.Key.locked <- true;
+          let c = obs_clock dst in
+          let prop2 =
+            Int.max prop
+              (Int.max c
+                 (Lease.write_floor ~floor:n.n_floor ~wts:stk.Key.wts ~rts:stk.Key.rts))
+          in
+          Hashtbl.replace n.n_prep txid
+            {
+              pr_txid = txid;
+              pr_key = key_b;
+              pr_other = -1;
+              pr_prop = prop2;
+              pr_rid = 0;
+              pr_peer = group_of_node coord;
+              pr_coord = false;
+            };
+          buffer_entry n
+            (Replog.Prep
+               { txid; key = key_b; prop = prop2; rid = 0; peer = group_of_node coord; coord = false });
+          (* The Prepared reply rides the ack watermark: it must not
+             reach the coordinator before (a) the prep is really on
+             our backups and (b) every install of ours the reported
+             ver_b builds on is trace-visible — the coordinator's
+             cross-commit record references (key_b, ver_b), so our
+             emissions must be sequenced under it. *)
+          let ver_b = stk.Key.ver in
+          buffer_probe n (fun () ->
+              Net.send net ~src:dst ~dst:coord (Prepared { txid; ver_b; prop = prop2 }));
+          flush n
+        end
+      end
+    | Prepared { txid; ver_b; prop } ->
+      Net.busy net dst (cfg.msg_ns + cfg.op_ns);
+      let n = st.(dst) in
+      if n.n_role <> Leader || n.n_syncing || Hashtbl.mem n.n_decided txid then ()
+      else (
+        match Hashtbl.find_opt n.n_prep txid with
+        | None -> ()
+        | Some p ->
+          let tx_start = Int.max p.pr_prop prop in
+          let fn final =
+            (* the prepare can be presume-aborted while the epoch is
+               open (prep timeout racing the close): re-check.  The
+               lease is re-checked too — the epoch close (and its
+               commit wait) can land after this leader's lease lapsed,
+               and a commit stamped then could collide with a promoted
+               peer's stamp space; abort instead, the client reissues *)
+            match Hashtbl.find_opt n.n_prep txid with
+            | Some p when not (Hashtbl.mem n.n_decided txid) ->
+              if
+                n.n_role = Leader && (not n.n_syncing)
+                && Lease.valid n.n_lease ~now:final
+              then commit_cross n txid p ~ver_b ~tx_start ~final
+              else abort_tx n txid p ~notify_peer:true
+            | _ -> ()
+          in
+          if cfg.epoch_ns > 0 then begin
+            let first = Epoch.add n.n_batch ~prop:tx_start fn in
+            if first then ensure_flush n
+          end
+          else publish n tx_start [ fn ])
+    | Conflict { txid } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      (match Hashtbl.find_opt n.n_prep txid with
+      | Some p when p.pr_coord && not (Hashtbl.mem n.n_decided txid) ->
+        (* participant never locked: no decision to chase *)
+        abort_tx n txid p ~notify_peer:false;
+        ensure_flush n
+      | _ -> ())
+    | Decision { txid; commit; ts; ver_b } ->
+      Net.busy net dst (cfg.msg_ns + cfg.op_ns);
+      let n = st.(dst) in
+      if
+        n.n_role <> Leader || n.n_syncing
+        || not (Lease.valid n.n_lease ~now:(obs_clock dst))
+      then ()  (* no ack: the retransmit finds a valid leader *)
+      else begin
+        (match Hashtbl.find_opt n.n_prep txid with
+        | Some p when not p.pr_coord ->
+          let stk = n.n_store.(p.pr_key) in
+          if commit then begin
+            stk.Key.value <- stk.Key.value + 1;
+            stk.Key.ver <- ver_b;
+            stk.Key.wts <- ts;
+            stk.Key.rts <- Int.max stk.Key.rts ts;
+            buffer_entry n
+              (Replog.Install
+                 { key = p.pr_key; value = stk.Key.value; ver = ver_b; wts = ts; rts = stk.Key.rts })
+          end;
+          stk.Key.locked <- false;
+          Hashtbl.remove n.n_prep txid;
+          Hashtbl.replace n.n_decided txid commit;
+          buffer_entry n (Replog.Decide { txid; commit; ts; ver_b });
+          (* flush before the ack ships *)
+          flush n
+        | Some _ -> ()
+        | None -> if not (Hashtbl.mem n.n_decided txid) then Hashtbl.replace n.n_decided txid commit);
+        Net.send net ~src:dst ~dst:src (DecisionAck { txid })
+      end
+    | DecisionAck { txid } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      if Hashtbl.mem n.n_unacked txid then begin
+        Hashtbl.remove n.n_unacked txid;
+        buffer_entry n (Replog.Acked { txid });
+        ensure_flush n
+      end
+    | Rep { term; entries } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      if n.n_role <> Backup || n.n_syncing || term < n.n_term then incr rep_stale
+      else begin
+        if term > n.n_term then n.n_term <- term;
+        List.iter (fun e -> if Replog.admit n.n_log e then apply_entry n e) entries;
+        Net.send net ~src:dst ~dst:src
+          (RepAck { term = n.n_term; seq = Replog.applied_seq n.n_log })
+      end
+    | RepAck { term; seq } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      (* an old-term ack refers to a forked sequence space: ignore it *)
+      if n.n_role = Leader && (not n.n_syncing) && term = n.n_term then begin
+        let prev = Option.value (Hashtbl.find_opt n.n_peer_ack src) ~default:(-1) in
+        if seq > prev then Hashtbl.replace n.n_peer_ack src seq;
+        release_held n
+      end
+    | Heartbeat { term; until } ->
+      Net.busy net dst cfg.msg_ns;
+      let n = st.(dst) in
+      if n.n_role = Backup && (not n.n_syncing) && term >= n.n_term then begin
+        if term > n.n_term then n.n_term <- term;
+        n.n_lease <-
+          { Lease.holder = src; term; until = Int.max n.n_lease.Lease.until until };
+        n.n_suspected <- false
+      end
+    | Promoted { group; term; leader; pos } ->
+      if dst = client then begin
+        views.(client).(group) <- leader;
+        (* new leader: stop rotating away from it *)
+        Hashtbl.iter (fun _ p -> if p.p_group = group then p.p_rot <- 0) pending
+      end
+      else begin
+        Net.busy net dst cfg.msg_ns;
+        views.(dst).(group) <- leader;
+        let n = st.(dst) in
+        if n.n_group = group && dst <> leader && term > n.n_term then begin
+          n.n_term <- term;
+          n.n_suspected <- false;
+          let c = obs_clock dst in
+          n.n_lease <-
+            {
+              Lease.holder = leader;
+              term;
+              until = Int.max n.n_lease.Lease.until (c + cfg.term_ns);
+            };
+          if n.n_role = Leader then rejoin n  (* deposed *)
+          else if (not n.n_syncing) && Replog.applied_seq n.n_log <> pos then
+            (* the promotion forked the sequence space at [pos]; a
+               backup applied to any other point must resync *)
+            rejoin n
+        end
+      end
+    | Join { node } ->
+      Net.busy net dst (cfg.msg_ns + cfg.op_ns);
+      let n = st.(dst) in
+      if n.n_role = Leader && (not n.n_syncing) && group_of_node node = n.n_group
+      then begin
+        flush n;  (* snapshot = the shipped prefix *)
+        let ks = ref [] in
+        for k = keys - 1 downto 0 do
+          if group_of_key k = n.n_group then begin
+            let stk = n.n_store.(k) in
+            ks :=
+              (k, stk.Key.value, stk.Key.ver, stk.Key.wts, stk.Key.rts, stk.Key.locked)
+              :: !ks
+          end
+        done;
+        Net.send net ~src:dst ~dst:node
+          (Snapshot
+             {
+               term = n.n_term;
+               seq = Replog.position n.n_log;
+               keys = !ks;
+               preps = Hashtbl.fold (fun _ p acc -> p :: acc) n.n_prep [];
+               dones = Hashtbl.fold (fun rid (ok, d) acc -> (rid, ok, d) :: acc) n.n_done [];
+               decideds = Hashtbl.fold (fun txid cmt acc -> (txid, cmt) :: acc) n.n_decided [];
+               unackeds = Hashtbl.fold (fun txid u acc -> (txid, u) :: acc) n.n_unacked [];
+             });
+        (* the snapshot carries the whole stream prefix: once it is in
+           flight the joiner can only ever resume from at or above it,
+           so it counts as an ack through [position] *)
+        Hashtbl.replace n.n_peer_ack node (Replog.position n.n_log);
+        release_held n
+      end
+    | Snapshot { term; seq; keys = ks; preps; dones; decideds; unackeds } ->
+      Net.busy net dst (cfg.msg_ns + cfg.op_ns);
+      let n = st.(dst) in
+      if n.n_syncing then begin
+        List.iter
+          (fun (k, value, ver, w, r, locked) ->
+            let stk = n.n_store.(k) in
+            stk.Key.value <- value;
+            stk.Key.ver <- ver;
+            stk.Key.wts <- w;
+            stk.Key.rts <- r;
+            stk.Key.locked <- locked)
+          ks;
+        Hashtbl.reset n.n_prep;
+        List.iter (fun p -> Hashtbl.replace n.n_prep p.pr_txid p) preps;
+        Hashtbl.reset n.n_done;
+        List.iter (fun (rid, ok, d) -> Hashtbl.replace n.n_done rid (ok, d)) dones;
+        Hashtbl.reset n.n_decided;
+        List.iter (fun (txid, cmt) -> Hashtbl.replace n.n_decided txid cmt) decideds;
+        Hashtbl.reset n.n_unacked;
+        List.iter
+          (fun (txid, u) ->
+            Hashtbl.replace n.n_unacked txid
+              { u_commit = u.u_commit; u_ts = u.u_ts; u_ver_b = u.u_ver_b; u_peer = u.u_peer; u_tries = 0 })
+          unackeds;
+        Replog.set_applied n.n_log seq;
+        if term > n.n_term then n.n_term <- term;
+        n.n_syncing <- false;
+        n.n_role <- Backup;
+        n.n_suspected <- false;
+        let c = obs_clock dst in
+        n.n_lease <-
+          {
+            Lease.holder = src;
+            term = n.n_term;
+            until = Int.max n.n_lease.Lease.until (c + cfg.term_ns);
+          };
+        incr snapshots;
+        Chaos.record tl ~at:(Net.now net) ~node:dst ~group:n.n_group "RECOVERED";
+        arm_monitor n
+      end
+    | Reply { rid; outcome } -> (
+      match Hashtbl.find_opt pending rid with
+      | None -> ()  (* late duplicate of a resolved request *)
+      | Some p -> (
+        match outcome with
+        | Done_ok ->
+          Hashtbl.remove pending rid;
+          finishp p true
+        | Done_fail ->
+          Hashtbl.remove pending rid;
+          p.p_attempts <- p.p_attempts + 1;
+          if p.p_attempts >= cfg.max_attempts then finishp p false
+          else begin
+            (* the old rid is burned in the done-table: fresh identity *)
+            incr rid_counter;
+            let p2 = { p with p_rid = !rid_counter } in
+            Hashtbl.replace pending p2.p_rid p2;
+            Net.at net ~node:client ~delay:(cfg.retry_ns * p2.p_attempts) (fun () ->
+                if Hashtbl.mem pending p2.p_rid then send_req p2)
+          end
+        | Shed_retry ra ->
+          incr shed_replies;
+          p.p_attempts <- p.p_attempts + 1;
+          if p.p_attempts >= cfg.max_attempts then begin
+            Hashtbl.remove pending rid;
+            finishp p false
+          end
+          else begin
+            (* hold the scanner off until the retry fires *)
+            p.p_sent_at <- Net.now net + ra;
+            Net.at net ~node:client ~delay:(Int.max 1 ra) (fun () ->
+                if Hashtbl.mem pending rid then send_req p)
+          end
+        | Moved leader ->
+          views.(client).(p.p_group) <- leader;
+          p.p_rot <- 0;
+          p.p_attempts <- p.p_attempts + 1;
+          if p.p_attempts >= cfg.max_attempts then begin
+            Hashtbl.remove pending rid;
+            finishp p false
+          end
+          else send_req p))
+  in
+  Net.on_message net handler;
+
+  (* ---- bootstrap ---- *)
+  (* the construction-time lease predates the simulated clock base; the
+     real grant happens here, at each leader's own clock *)
+  Array.iter
+    (fun n ->
+      if n.n_role = Leader then begin
+        n.n_lease <-
+          Lease.grant ~holder:n.n_id ~term:n.n_term ~now:(obs_clock n.n_id)
+            ~term_ns:cfg.term_ns;
+        start_heartbeat n
+      end
+      else arm_monitor n)
+    st;
+  Chaos.install net fault ~timer_node:client ~group_of:group_of_node
+    ~on_restart:restart_node tl;
+  arrive ();
+  Net.at net ~node:client ~delay:(Int.max 1 (cfg.client_retry_ns / 2)) scan;
+  Net.run net;
+
+  (* ---- results ---- *)
+  let acting =
+    Array.init groups (fun g ->
+        let members = List.init replicas (fun r -> base_of g + r) in
+        match
+          List.filter (fun m -> Net.alive net m && st.(m).n_role = Leader) members
+        with
+        | l :: _ -> l
+        | [] -> base_of g)
+  in
+  let sum_values = ref 0 and locks_left = ref 0 and divergence = ref 0 in
+  let expected_sum = ref (keys * 100) in
+  for g = 0 to groups - 1 do
+    let l = st.(acting.(g)) in
+    for k = 0 to keys - 1 do
+      if group_of_key k = g then begin
+        sum_values := !sum_values + l.n_store.(k).Key.value;
+        if l.n_store.(k).Key.locked then incr locks_left
+      end
+    done;
+    Hashtbl.iter (fun _ (ok, d) -> if ok then expected_sum := !expected_sum + d) l.n_done;
+    List.iter
+      (fun m ->
+        if m <> acting.(g) && Net.alive net m && not st.(m).n_syncing then
+          for k = 0 to keys - 1 do
+            if
+              group_of_key k = g
+              && (st.(m).n_store.(k).Key.value <> l.n_store.(k).Key.value
+                 || st.(m).n_store.(k).Key.ver <> l.n_store.(k).Key.ver)
+            then incr divergence
+          done)
+      (List.init replicas (fun r -> base_of g + r))
+  done;
+  let per_group =
+    Array.init groups (fun g ->
+        List.fold_left
+          (fun acc m ->
+            {
+              g_admitted = acc.g_admitted + Admission.admitted st.(m).n_adm;
+              g_shed = acc.g_shed + Admission.shed st.(m).n_adm;
+              g_depth_hw = Int.max acc.g_depth_hw (Admission.depth_hw st.(m).n_adm);
+            })
+          { g_admitted = 0; g_shed = 0; g_depth_hw = 0 }
+          (List.init replicas (fun r -> base_of g + r)))
+  in
+  let sum_over f = Array.fold_left (fun acc n -> acc + f n) 0 st in
+  let lats = Array.of_list !lats in
+  Array.sort compare lats;
+  let pct p = if Array.length lats = 0 then 0.0 else Stats.percentile lats p in
+  let ss = Sessions.stats gen in
+  {
+    issued = !issued;
+    committed = !committed;
+    failed = !failed;
+    shed_replies = !shed_replies;
+    cross_issued = !cross_issued;
+    cross_committed = !cross_committed;
+    sessions_opened = ss.Sessions.opened;
+    sessions_closed = ss.Sessions.closed;
+    reconnects = ss.Sessions.reconnects;
+    storm_ops = ss.Sessions.storm_ops;
+    epochs = sum_over (fun n -> Epoch.epochs n.n_batch);
+    epoch_txns = sum_over (fun n -> Epoch.total_members n.n_batch);
+    commit_waits = !commit_waits;
+    wait_ns = !wait_ns;
+    rep_shipped = sum_over (fun n -> Replog.shipped n.n_log);
+    rep_applied = sum_over (fun n -> Replog.applied n.n_log);
+    rep_dups = sum_over (fun n -> Replog.dups n.n_log);
+    rep_stale = !rep_stale;
+    promotions = !promotions;
+    degraded_reads = !degraded_reads;
+    snapshots = !snapshots;
+    messages = Net.delivered net;
+    dropped = Net.dropped net;
+    end_ns = !end_ns;
+    boundary;
+    throughput =
+      (if !end_ns = 0 then 0.0
+       else float_of_int !committed /. (float_of_int !end_ns /. 1_000.0));
+    mean_ns = (if Array.length lats = 0 then 0.0 else Stats.mean lats);
+    p50_ns = pct 0.5;
+    p99_ns = pct 0.99;
+    sum_values = !sum_values;
+    expected_sum = !expected_sum;
+    locks_left = !locks_left;
+    divergence = !divergence;
+    per_group;
+    timeline = Chaos.events tl;
+  }

@@ -1,0 +1,85 @@
+(** Deterministic session workload generator for the service layer.
+
+    Produces {e traffic}, not execution: the service layer asks when the
+    next client session opens, what each session's requests are and when
+    it hangs up.  All randomness flows through split {!Ordo_util.Rng}
+    streams rooted in one seed — the arrival process from one stream,
+    each session from its own sub-stream — so the generated history is
+    byte-identical however the run is parallelised.
+
+    Shapes modelled: skewed multi-tenant traffic (per-tenant Zipf skew
+    and read/cross-shard mix), diurnal load ramps (thinned-Poisson
+    arrivals, 1x → 3x → 1x intensity), hot-key storms (timed windows
+    hijacking a slice of all ops onto one seeded key), and connection
+    churn (a fraction of completed sessions reconnect as fresh ones). *)
+
+type op =
+  | Get of int
+  | Put of int
+  | Transfer of int * int
+      (** Cross-partition: the two keys differ mod [partitions]. *)
+
+type tenant = {
+  weight : int;  (** share of sessions, relative to the other tenants *)
+  theta : float;  (** Zipf skew of the tenant's key popularity *)
+  read_pct : int;
+  cross_pct : int;  (** cross-shard transfers, as a % of the write ops *)
+}
+
+type storm = {
+  at : int;
+  storm_dur : int;
+  boost_pct : int;  (** % of all ops the storm key hijacks while active *)
+}
+
+type profile = {
+  sessions : int;  (** arrival cap (reconnects are extra, on top) *)
+  mean_think_ns : int;
+  mean_requests : int;  (** mean session length, in requests *)
+  reconnect_pct : int;  (** churn: % of completed sessions that reconnect *)
+  diurnal : bool;
+  storms : storm list;
+  tenants : tenant list;
+  keys : int;
+  partitions : int;  (** shard count; [Transfer] partners differ mod this *)
+  dur_ns : int;  (** arrival window; open sessions may drain past it *)
+}
+
+val default : profile
+
+type session
+
+type stats = {
+  mutable opened : int;
+  mutable closed : int;
+  mutable reconnects : int;
+  mutable storm_ops : int;
+}
+
+type t
+
+val create : seed:int -> profile -> t
+(** Raises [Invalid_argument] on an empty tenant list or non-positive
+    [sessions]/[keys]/[partitions]/[dur_ns]/tenant weights. *)
+
+val next_arrival : t -> now:int -> int option
+(** Gap (ns from [now]) until the next session opens; [None] once the
+    arrival cap is reached or the window has closed. *)
+
+val connect : t -> session
+(** Open a session: draws its tenant, length and private rng stream. *)
+
+val think_gap : t -> session -> int
+(** Client think time before the session's next request. *)
+
+val op : t -> session -> now:int -> op
+(** The session's next request (consumes one of its remaining requests).
+    Raises [Invalid_argument] if the session is already {!finished}. *)
+
+val finished : session -> bool
+
+val complete : t -> session -> bool
+(** Close a finished session; [true] means the client churns back in and
+    the caller should open a replacement with {!connect}. *)
+
+val stats : t -> stats

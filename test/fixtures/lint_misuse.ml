@@ -43,6 +43,11 @@ let same_epoch a_ts b_ts = compare a_ts b_ts
 (* [cmp-zero-equality]: zero means *uncertain*, never "equal". *)
 let stamps_equal t1 t2 = cmp_time t1 t2 = 0
 
+(* [poly-compare], service-flavored: deciding a lease is still live by
+   comparing its deadline to the local stamp with a raw [<=] — the exact
+   split-brain shape the service layer guards with Lease.valid. *)
+let lease_live now_ts lease_deadline = now_ts <= lease_deadline
+
 (* [atomic-confinement]: shared state bypassing the Runtime_intf.S
    surface — invisible to the simulator's cost model and to Mcheck. *)
 let hidden_counter = Atomic.make 0

@@ -49,6 +49,38 @@ let test_spec_parse () =
     check Alcotest.bool "seed" true (s.Spec.seed = 7L)
   | Error e -> Alcotest.failf "full spec rejected: %s" e
 
+let test_spec_replicas () =
+  (* "<groups>x<replicas>x<machine>" — the replica count multiplies into
+     nodes and survives a round-trip; a bare "<n>x<machine>" spec keeps
+     replicas = 1 and prints without the middle segment. *)
+  (match Spec.of_string "3x2xamd" with
+  | Ok s ->
+    check Alcotest.int "groups" 3 (Spec.groups s);
+    check Alcotest.int "replicas" 2 s.Spec.replicas;
+    check Alcotest.int "nodes = groups * replicas" 6 s.Spec.nodes;
+    check Alcotest.string "machine" "amd" s.Spec.machine_name
+  | Error e -> Alcotest.failf "3x2xamd rejected: %s" e);
+  (match Spec.of_string "4xamd" with
+  | Ok s ->
+    check Alcotest.int "bare spec keeps replicas=1" 1 s.Spec.replicas;
+    check Alcotest.int "bare spec groups = nodes" 4 (Spec.groups s)
+  | Error e -> Alcotest.failf "4xamd rejected: %s" e);
+  match Spec.of_string "2x3xarm:base=500" with
+  | Ok s ->
+    check Alcotest.int "options compose with the middle segment" 500 s.Spec.link.Spec.base_ns;
+    check Alcotest.bool "printed form keeps the replica segment" true
+      (String.length (Spec.to_string s) >= 6
+      && String.sub (Spec.to_string s) 0 6 = "2x3xar")
+  | Error e -> Alcotest.failf "2x3xarm:base=500 rejected: %s" e
+
+let test_spec_replica_errors () =
+  List.iter
+    (fun str ->
+      match Spec.of_string str with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S accepted" str)
+    [ "3x0xamd"; "3x-1xamd"; "0x2xamd"; "3x2xnosuch"; "3xxamd" ]
+
 let test_spec_roundtrip () =
   List.iter
     (fun str ->
@@ -58,7 +90,10 @@ let test_spec_roundtrip () =
         match Spec.of_string (Spec.to_string s) with
         | Error e -> Alcotest.failf "to_string not parseable: %s" e
         | Ok s' -> check Alcotest.bool (str ^ " round-trips") true (s = s')))
-    [ "1xamd"; "4xamd"; "2xxeon:base=900"; "3xarm:mode=reorder,skew=9000,seed=3" ]
+    [
+      "1xamd"; "4xamd"; "2xxeon:base=900"; "3xarm:mode=reorder,skew=9000,seed=3";
+      "3x2xamd"; "2x3xarm:base=500";
+    ]
 
 let test_spec_errors () =
   List.iter
@@ -238,6 +273,8 @@ let suite =
   [
     ("instance advance_to", `Quick, test_advance_to);
     ("spec parse", `Quick, test_spec_parse);
+    ("spec replica groups", `Quick, test_spec_replicas);
+    ("spec replica errors", `Quick, test_spec_replica_errors);
     ("spec round-trip", `Quick, test_spec_roundtrip);
     ("spec errors", `Quick, test_spec_errors);
     ("fifo links deliver in order", `Quick, test_fifo_in_order);

@@ -112,6 +112,22 @@ let test_sched_scoping () =
   check Alcotest.(list string) "raw clock reads flagged in lib/sched" [ "raw-clock-read" ]
     (scoped "lib/sched/x.ml" "let t = Clock.Host.get_time ()")
 
+let test_service_scoping () =
+  (* lib/service joined both scope lists in PR 10: it stamps client
+     operations (poly-compare, cmp-zero) and sits on the runtime like
+     any other substrate (raw-get-time). *)
+  let scoped file src = rules_of (diags ~all_rules:false ~file src) in
+  check Alcotest.(list string) "poly-compare on in lib/service" [ "poly-compare" ]
+    (scoped "lib/service/x.ml" "let newer commit_ts start_ts = commit_ts > start_ts");
+  check Alcotest.(list string) "lease deadlines are timestamps too" [ "poly-compare" ]
+    (scoped "lib/service/lease.ml" "let live now_ts l = now_ts <= l.deadline");
+  check Alcotest.(list string) "cmp-zero on in lib/service" [ "cmp-zero-equality" ]
+    (scoped "lib/service/x.ml" "let eq a b = cmp_time a b = 0");
+  check Alcotest.(list string) "raw get_time flagged in lib/service" [ "raw-get-time" ]
+    (scoped "lib/service/x.ml" "let stamp () = R.get_time ()");
+  check Alcotest.(list string) "raw clock reads flagged in lib/service" [ "raw-clock-read" ]
+    (scoped "lib/service/x.ml" "let t = Clock.Host.get_time ()")
+
 let test_allow_pragma () =
   let src =
     "[@@@ordo_lint.allow \"poly-compare\"]\nlet newer commit_ts start_ts = commit_ts > start_ts"
@@ -158,6 +174,7 @@ let suite =
     case "atomic confinement scoping" test_atomic_confinement_scoping;
     case "path scoping" test_path_scoping;
     case "lib/sched scoping" test_sched_scoping;
+    case "lib/service scoping" test_service_scoping;
     case "allow pragma" test_allow_pragma;
     case "parse errors surface" test_parse_error_reported;
     case "misuse fixture fires every rule" test_misuse_fixture;

@@ -21,5 +21,6 @@ let () =
       ("analyze", Test_analyze.suite);
       ("lint", Test_lint.suite);
       ("cluster", Test_cluster.suite);
+      ("service", Test_service.suite);
       ("mcheck", Test_mcheck.suite);
     ]

@@ -1,0 +1,296 @@
+(* Service layer end to end: deterministic replicated runs (identical
+   across worker counts), conservation + exactly-once under replication,
+   checker cleanliness in both commit modes, admission shedding, the
+   lease timestamp discipline (unit + qcheck property), and the chaos
+   scenario — a primary killed mid-2PC must degrade, promote, recover
+   and still pass the stock offline checker. *)
+
+module Sim = Ordo_sim.Sim
+module Net = Ordo_cluster.Net
+module Spec = Ordo_cluster.Net.Spec
+module Compose = Ordo_cluster.Compose
+module Sessions = Ordo_workloads.Sessions
+module Trace = Ordo_trace.Trace
+module Checker = Ordo_trace.Checker
+module Node_fault = Ordo_hazard.Node_fault
+module Service = Ordo_service.Service
+module Admission = Ordo_service.Admission
+module Epoch = Ordo_service.Epoch
+module Lease = Ordo_service.Lease
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let spec_of s =
+  match Spec.of_string s with Ok s -> s | Error e -> Alcotest.failf "bad spec: %s" e
+
+(* One composed-boundary measurement per spec string; quick settings as
+   in test_cluster (minima only tighten with more rounds). *)
+let boundaries : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let boundary_of spec =
+  let k = Spec.to_string spec in
+  match Hashtbl.find_opt boundaries k with
+  | Some b -> b
+  | None ->
+    let b = (Compose.measure ~rounds:10 ~node_runs:4 spec).Compose.boundary in
+    Hashtbl.add boundaries k b;
+    b
+
+(* Small but live traffic: enough sessions for cross-group 2PC, storms
+   and reconnects, short enough to keep the suite quick. *)
+let base_cfg =
+  {
+    Service.default with
+    Service.profile = { Sessions.default with Sessions.sessions = 48; dur_ns = 150_000 };
+  }
+
+let run_service ?fault ?(checked = true) spec cfg =
+  Sim.with_fresh_instance @@ fun () ->
+  let boundary = boundary_of spec in
+  if checked then Trace.start ~capacity:262_144 ();
+  let r = Service.run ~boundary ?fault spec cfg in
+  let rep = if checked then Some (Checker.check ~boundary (Trace.stop ())) else None in
+  (r, rep)
+
+let assert_invariants name (r : Service.result) =
+  check Alcotest.bool (name ^ " committed some") true (r.Service.committed > 0);
+  check Alcotest.bool (name ^ " cross committed") true (r.Service.cross_committed > 0);
+  check Alcotest.int (name ^ " conservation") r.Service.expected_sum r.Service.sum_values;
+  check Alcotest.int (name ^ " no locks left") 0 r.Service.locks_left;
+  check Alcotest.int (name ^ " replicas converged") 0 r.Service.divergence
+
+let assert_checker name = function
+  | None -> Alcotest.failf "%s: no checker report" name
+  | Some rep ->
+    check Alcotest.bool (name ^ " checker clean") true (Checker.ok rep);
+    check Alcotest.int (name ^ " no ambiguous keys") 0 rep.Checker.ambiguous
+
+(* ---- determinism ---- *)
+
+let test_deterministic_across_jobs () =
+  (* The same two cells through 1 worker and through 2 must produce
+     structurally identical results — the property behind the CI smoke's
+     byte-diff of `--jobs 1` vs `--jobs 2` output. *)
+  let spec = spec_of "2x2xamd" in
+  let b = boundary_of spec in
+  let cells = [ 1_500; 0 ] in
+  let run_cell epoch_ns =
+    Trace.start ~capacity:262_144 ();
+    let r = Service.run ~boundary:b spec { base_cfg with Service.epoch_ns } in
+    let rep = Checker.check ~boundary:b (Trace.stop ()) in
+    (r, Checker.ok rep, List.length rep.Checker.violations)
+  in
+  let one = Ordo_sim.Pool.map ~jobs:1 run_cell cells in
+  let two = Ordo_sim.Pool.map ~jobs:2 run_cell cells in
+  check Alcotest.bool "jobs 1 = jobs 2" true (one = two)
+
+(* ---- replicated group commit ---- *)
+
+let test_epoch_mode_invariants () =
+  let r, rep = run_service (spec_of "2x2xamd") base_cfg in
+  assert_invariants "epoch" r;
+  assert_checker "epoch" rep;
+  check Alcotest.bool "epochs formed" true (r.Service.epochs > 0);
+  check Alcotest.bool "2pc rode epoch batches" true (r.Service.epoch_txns > 0);
+  (* Silo-style amortization: at most one commit wait per closed epoch,
+     never one per transaction. *)
+  check Alcotest.bool "waits amortized per epoch" true
+    (r.Service.commit_waits <= r.Service.epochs);
+  check Alcotest.bool "replication shipped" true (r.Service.rep_shipped > 0);
+  check Alcotest.bool "backups applied the stream" true (r.Service.rep_applied > 0);
+  check Alcotest.int "no failover in a quiet run" 0 r.Service.promotions
+
+let test_per_txn_mode_invariants () =
+  let r, rep = run_service (spec_of "2x2xamd") { base_cfg with Service.epoch_ns = 0 } in
+  assert_invariants "per-txn" r;
+  assert_checker "per-txn" rep;
+  check Alcotest.int "no epochs without batching" 0 r.Service.epochs;
+  check Alcotest.int "no batched txns" 0 r.Service.epoch_txns;
+  check Alcotest.bool "waits bounded by 2pc commits" true
+    (r.Service.commit_waits <= r.Service.cross_committed)
+
+let test_unreplicated_groups () =
+  (* replicas = 1: no stream, no failover machinery, same invariants. *)
+  let r, rep = run_service (spec_of "3xamd") base_cfg in
+  assert_invariants "bare" r;
+  assert_checker "bare" rep;
+  check Alcotest.int "no backups applied anything" 0 r.Service.rep_applied;
+  check Alcotest.int "no promotions" 0 r.Service.promotions
+
+(* ---- admission control ---- *)
+
+let test_admission_sheds_under_pressure () =
+  let cfg =
+    {
+      base_cfg with
+      Service.adm = { Admission.rate_per_us = 1; burst = 2; max_depth = 2 };
+    }
+  in
+  let r, rep = run_service (spec_of "2x2xamd") cfg in
+  check Alcotest.bool "sheds observed" true (r.Service.shed_replies > 0);
+  check Alcotest.bool "shards recorded sheds" true
+    (Array.exists (fun g -> g.Service.g_shed > 0) r.Service.per_group);
+  check Alcotest.bool "depth bounded" true
+    (Array.for_all (fun g -> g.Service.g_depth_hw <= 2) r.Service.per_group);
+  (* Backpressure must not corrupt state: whatever was admitted commits
+     exactly once and conserves value. *)
+  assert_invariants "shed" r;
+  assert_checker "shed" rep
+
+let test_admission_unit () =
+  let a = Admission.create { Admission.rate_per_us = 1; burst = 1; max_depth = 1 } in
+  check Alcotest.bool "first admit" true (Admission.admit a ~now:0 = `Admit);
+  (* Bucket dry *and* queue full: shed either way, with a positive hint. *)
+  (match Admission.admit a ~now:0 with
+  | `Shed hint -> check Alcotest.bool "positive retry-after" true (hint > 0)
+  | `Admit -> Alcotest.fail "admitted past the depth cap");
+  Admission.release a;
+  check Alcotest.int "slot freed" 0 (Admission.depth a);
+  (* A full refill interval later the bucket has a token again. *)
+  check Alcotest.bool "refill admits" true (Admission.admit a ~now:2_000 = `Admit);
+  check Alcotest.int "admitted count" 2 (Admission.admitted a);
+  check Alcotest.int "shed count" 1 (Admission.shed a);
+  Alcotest.check_raises "degenerate config rejected"
+    (Invalid_argument "Admission.create: rate, burst and depth must all be >= 1")
+    (fun () -> ignore (Admission.create { Admission.rate_per_us = 0; burst = 1; max_depth = 1 }))
+
+(* ---- epoch batches ---- *)
+
+let test_epoch_unit () =
+  let e : int Epoch.t = Epoch.create ~epoch_ns:500 in
+  check Alcotest.bool "enabled" true (Epoch.enabled e);
+  check Alcotest.bool "first add opens" true (Epoch.add e ~prop:10 1);
+  check Alcotest.bool "second add joins" false (Epoch.add e ~prop:30 2);
+  check Alcotest.bool "third add joins" false (Epoch.add e ~prop:20 3);
+  (match Epoch.close e with
+  | Some (joint, members) ->
+    check Alcotest.int "joint proposal is the max" 30 joint;
+    check Alcotest.(list int) "members in add order" [ 1; 2; 3 ] members
+  | None -> Alcotest.fail "open epoch did not close");
+  check Alcotest.bool "closed" true (Epoch.close e = None);
+  check Alcotest.int "one epoch counted" 1 (Epoch.epochs e);
+  check Alcotest.int "three members counted" 3 (Epoch.total_members e);
+  let off : int Epoch.t = Epoch.create ~epoch_ns:0 in
+  check Alcotest.bool "0 disables batching" false (Epoch.enabled off);
+  Alcotest.check_raises "negative interval rejected"
+    (Invalid_argument "Epoch.create: negative epoch_ns") (fun () ->
+      ignore (Epoch.create ~epoch_ns:(-1) : int Epoch.t))
+
+(* ---- lease discipline ---- *)
+
+let test_lease_unit () =
+  let l = Lease.grant ~holder:3 ~term:1 ~now:1_000 ~term_ns:500 in
+  check Alcotest.bool "valid inside" true (Lease.valid l ~now:1_500);
+  check Alcotest.bool "invalid past until" false (Lease.valid l ~now:1_501);
+  let l' = Lease.renew l ~now:1_400 ~term_ns:500 in
+  check Alcotest.int "renew extends" 1_900 l'.Lease.until;
+  let l'' = Lease.renew l' ~now:0 ~term_ns:10 in
+  check Alcotest.int "renew never shortens" 1_900 l''.Lease.until;
+  check Alcotest.bool "not certainly expired inside boundary" false
+    (Lease.certainly_expired l ~boundary:100 ~now:1_600);
+  check Alcotest.bool "certainly expired past until+boundary" true
+    (Lease.certainly_expired l ~boundary:100 ~now:1_601);
+  check Alcotest.bool "promotion floor clears the lease" true
+    (Lease.promotion_floor ~until:1_500 ~boundary:100 ~now:0 > 1_600)
+
+let test_lease_read_never_past_rts =
+  (* The qcheck property behind failover safety: whatever stamp a
+     degraded backup serves a read at is covered by the read lease the
+     primary already granted (rts), stays at or above the installed
+     version, and sits strictly below any promoted peer's floor. *)
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 0 1_000_000) (int_range 0 100_000) (int_range 0 1_200_000)
+        (pair (int_range 0 1_400_000) (int_range 1 10_000)))
+  in
+  qtest ~count:500 "degraded reads never outrun rts or a promotion" gen
+    (fun (wts, lag, until, (clock, bnd)) ->
+      let rts = wts + lag in
+      match Lease.degraded_read_ts ~wts ~rts ~until ~clock with
+      | None -> Int.min rts until < wts  (* shed only when no point exists *)
+      | Some t ->
+        t >= wts && t <= rts && t <= until
+        (* any promotion happens at some now with the lease certainly
+           expired; its floor is > until + boundary >= t + 1 *)
+        && t < Lease.promotion_floor ~until ~boundary:bnd ~now:(until + bnd + 1))
+
+let test_lease_write_floor =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range 0 1_000_000))
+  in
+  qtest ~count:500 "write floor clears version, leases and node floor" gen
+    (fun (floor, wts, rts) ->
+      let f = Lease.write_floor ~floor ~wts ~rts in
+      f >= floor && f > wts && f > rts)
+
+(* ---- chaos: kill a primary mid-2PC ---- *)
+
+let phases_of (tl : Ordo_service.Chaos.event list) =
+  List.map (fun e -> e.Ordo_service.Chaos.phase) tl
+
+let index_of p phases =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = p -> Some i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 phases
+
+let test_chaos_primary_kill () =
+  let spec = spec_of "2x2xamd" in
+  let cfg =
+    {
+      base_cfg with
+      Service.profile =
+        { base_cfg.Service.profile with Sessions.sessions = 96; dur_ns = 300_000 };
+    }
+  in
+  let fault =
+    Node_fault.primary_kill ~seed:cfg.Service.seed ~dur:300_000 ~groups:2 ~replicas:2
+  in
+  let r, rep = run_service ~fault spec cfg in
+  (* Exactly-once through the failover: conservation holds, no lock or
+     replica is left behind, and the stock checker stays clean. *)
+  assert_invariants "chaos" r;
+  assert_checker "chaos" rep;
+  check Alcotest.bool "a backup promoted" true (r.Service.promotions >= 1);
+  check Alcotest.bool "the revived node re-joined" true (r.Service.snapshots >= 1);
+  let phases = phases_of r.Service.timeline in
+  let idx p =
+    match index_of p phases with
+    | Some i -> i
+    | None -> Alcotest.failf "timeline missing %s: %s" p (String.concat " -> " phases)
+  in
+  check Alcotest.bool "degrades after the kill" true (idx "KILLED" < idx "DEGRADED");
+  check Alcotest.bool "promotes after degrading" true (idx "DEGRADED" < idx "PROMOTED");
+  check Alcotest.bool "recovers after the restart" true (idx "RESTARTED" < idx "RECOVERED")
+
+let test_chaos_fault_validated () =
+  let spec = spec_of "2x2xamd" in
+  let bad = { Node_fault.name = "oob"; events = [ { Node_fault.at = 10; action = Node_fault.Kill { node = 99 } } ] } in
+  Sim.with_fresh_instance @@ fun () ->
+  match Service.run ~boundary:4_000 ~fault:bad spec base_cfg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range fault accepted"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    case "deterministic across worker counts" test_deterministic_across_jobs;
+    case "epoch mode: invariants + checker" test_epoch_mode_invariants;
+    case "per-txn mode: invariants + checker" test_per_txn_mode_invariants;
+    case "unreplicated groups still compose" test_unreplicated_groups;
+    case "admission sheds under pressure" test_admission_sheds_under_pressure;
+    case "admission unit" test_admission_unit;
+    case "epoch batches unit" test_epoch_unit;
+    case "lease unit" test_lease_unit;
+    test_lease_read_never_past_rts;
+    test_lease_write_floor;
+    case "chaos: primary killed mid-run" test_chaos_primary_kill;
+    case "chaos: fault scenarios validated" test_chaos_fault_validated;
+  ]
